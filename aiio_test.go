@@ -1,0 +1,168 @@
+package aiio
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	apiOnce sync.Once
+	apiEns  *Ensemble
+	apiErr  error
+)
+
+// apiEnsemble trains once for the public-API tests.
+func apiEnsemble(t *testing.T) *Ensemble {
+	t.Helper()
+	apiOnce.Do(func() {
+		db := GenerateDatabase(DatabaseConfig{Jobs: 700, Seed: 5})
+		opts := DefaultTrainOptions()
+		opts.Fast = true
+		opts.Models = []string{ModelLightGBM, ModelCatBoost, ModelXGBoost}
+		apiEns, _, apiErr = Train(BuildFrame(db), opts)
+	})
+	if apiErr != nil {
+		t.Fatalf("train: %v", apiErr)
+	}
+	return apiEns
+}
+
+func TestPublicAPIFlow(t *testing.T) {
+	ens := apiEnsemble(t)
+	rec, err := SimulateIOR("ior -w -t 1k -b 1m -Y", 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.PerfMiBps <= 0 {
+		t.Fatal("simulated job has no performance tag")
+	}
+	diag, err := ens.Diagnose(rec, DefaultDiagnoseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.IsRobust() {
+		t.Error("diagnosis not robust")
+	}
+	if len(diag.TopFactors(5)) == 0 {
+		t.Error("no factors")
+	}
+}
+
+func TestPublicAPILogRoundTrip(t *testing.T) {
+	rec, err := SimulateIOR("ior -r -t 1k -b 64k", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *rec {
+		t.Error("log round trip mismatch")
+	}
+	ds := &Dataset{}
+	ds.Append(rec)
+	buf.Reset()
+	if err := WriteDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := ParseDataset(&buf)
+	if err != nil || ds2.Len() != 1 {
+		t.Fatalf("dataset round trip: %v, %d records", err, ds2.Len())
+	}
+}
+
+func TestPublicAPIModelRegistry(t *testing.T) {
+	ens := apiEnsemble(t)
+	dir := t.TempDir()
+	if err := SaveModels(dir, ens); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModels(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Models) != len(ens.Models) {
+		t.Errorf("loaded %d models", len(loaded.Models))
+	}
+}
+
+func TestSimulateIORTunedRemovesSeeks(t *testing.T) {
+	rec, err := SimulateIOR("ior -r -t 1k -b 64k", 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, err := SimulateIORTuned("ior -r -t 1k -b 64k", 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seekID := counterID(t, "POSIX_SEEKS")
+	if tuned.Counters[seekID] >= rec.Counters[seekID] {
+		t.Errorf("tuned seeks %v not below untuned %v",
+			tuned.Counters[seekID], rec.Counters[seekID])
+	}
+}
+
+func counterID(t *testing.T, name string) CounterID {
+	t.Helper()
+	for i, n := range CounterNames() {
+		if n == name {
+			return CounterID(i)
+		}
+	}
+	t.Fatalf("no counter %q", name)
+	return 0
+}
+
+func TestSimulateIORRejectsBadFlags(t *testing.T) {
+	if _, err := SimulateIOR("ior --bogus", 4, 1); err == nil {
+		t.Error("bad flags accepted")
+	}
+	if _, err := SimulateIORTuned("ior", 4, 1); err == nil {
+		t.Error("missing -w/-r accepted")
+	}
+}
+
+func TestCounterNamesStable(t *testing.T) {
+	names := CounterNames()
+	if len(names) != 45 {
+		t.Fatalf("%d counters", len(names))
+	}
+	if !strings.HasPrefix(names[3], "POSIX_") {
+		t.Errorf("unexpected counter order: %v", names[:5])
+	}
+}
+
+func TestPublicAPIAdvise(t *testing.T) {
+	ens := apiEnsemble(t)
+	rec, err := SimulateIOR("ior -w -t 1k -b 1m -Y", 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := ens.Diagnose(rec, DefaultDiagnoseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Advise(ens, diag, 1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range recs {
+		if r.Action == "increase-transfer-size" {
+			found = true
+			if r.PredictedGain <= 1.05 {
+				t.Errorf("gain %v below threshold", r.PredictedGain)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no transfer-size advice for the canonical slow job: %+v", recs)
+	}
+}

@@ -1,0 +1,47 @@
+// Command aiio-server runs the AIIO web service of Section 3.4 / Fig. 17:
+// it loads pre-trained performance functions from a model registry and
+// serves job-level diagnoses over HTTP.
+//
+//	aiio-server -models models/ -addr :8080
+//
+// Endpoints:
+//
+//	GET  /healthz             liveness
+//	GET  /api/v1/models       registered models
+//	POST /api/v1/models       upload a pre-trained model (?name=&kind=)
+//	POST /api/v1/diagnose     Darshan text log -> JSON diagnosis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"github.com/hpc-repro/aiio/internal/core"
+	"github.com/hpc-repro/aiio/internal/webservice"
+)
+
+func main() {
+	modelsDir := flag.String("models", "models", "model registry directory")
+	addr := flag.String("addr", ":8080", "listen address")
+	interp := flag.String("interpreter", "shap", "shap or lime")
+	flag.Parse()
+
+	ens, err := core.LoadEnsemble(*modelsDir)
+	if err != nil {
+		log.Fatalf("aiio-server: load models: %v", err)
+	}
+	opts := core.DefaultDiagnoseOptions()
+	opts.Interpreter = core.Interpreter(*interp)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           webservice.NewServer(ens, opts).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("aiio-server: %d models loaded from %s, listening on %s\n",
+		len(ens.Models), *modelsDir, *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,247 @@
+// Command aiio is the command-line interface to the AIIO reproduction:
+//
+//	aiio gen-db    -jobs 3000 -seed 1 -o db.darshan
+//	aiio train     -db db.darshan -models models/ [-fast]
+//	aiio diagnose  -models models/ -log job.darshan [-top 9] [-interpreter shap|lime]
+//	aiio experiment -id all [-fast] (table1|table2|table3|fig1|fig4..fig17)
+//
+// gen-db simulates the historical I/O log database, train fits the five
+// performance functions, diagnose prints a job's bottleneck waterfall, and
+// experiment regenerates the paper's tables and figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hpc-repro/aiio/internal/core"
+	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/experiments"
+	"github.com/hpc-repro/aiio/internal/features"
+	"github.com/hpc-repro/aiio/internal/logdb"
+	"github.com/hpc-repro/aiio/internal/report"
+	"github.com/hpc-repro/aiio/internal/rules"
+	"github.com/hpc-repro/aiio/internal/tune"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen-db":
+		err = cmdGenDB(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "diagnose":
+		err = cmdDiagnose(os.Args[2:])
+	case "experiment":
+		err = cmdExperiment(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "aiio: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aiio: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: aiio <command> [flags]
+
+commands:
+  gen-db      generate a synthetic I/O log database (Table 1 substitute)
+  train       train the five performance functions on a database
+  diagnose    diagnose one Darshan log with a trained model registry
+  experiment  regenerate the paper's tables and figures`)
+}
+
+func cmdGenDB(args []string) error {
+	fs := flag.NewFlagSet("gen-db", flag.ExitOnError)
+	jobs := fs.Int("jobs", 3000, "number of jobs to simulate")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "db.darshan", "output file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds := logdb.Generate(logdb.GenConfig{Jobs: *jobs, Seed: *seed})
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := darshan.WriteDataset(f, ds); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d jobs to %s (avg sparsity %.4f)\n", ds.Len(), *out, ds.AverageSparsity())
+	return nil
+}
+
+func loadDB(path string) (*darshan.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return darshan.ParseDataset(f)
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	db := fs.String("db", "db.darshan", "log database file")
+	modelsDir := fs.String("models", "models", "model registry directory")
+	fast := fs.Bool("fast", false, "reduced training budgets")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := loadDB(*db)
+	if err != nil {
+		return err
+	}
+	frame := features.Build(ds)
+	opts := core.DefaultTrainOptions()
+	opts.Fast = *fast
+	opts.Seed = *seed
+	ens, rep, err := core.TrainEnsemble(frame, opts)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{}
+	for _, r := range rep.Models {
+		rows = append(rows, []string{r.Name, fmt.Sprintf("%.4f", r.PredictionRMSE)})
+	}
+	report.Table(os.Stdout, []string{"Model", "Eval RMSE"}, rows)
+	if err := core.SaveEnsemble(*modelsDir, ens); err != nil {
+		return err
+	}
+	fmt.Printf("saved %d models to %s\n", len(ens.Models), *modelsDir)
+	return nil
+}
+
+func cmdDiagnose(args []string) error {
+	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
+	modelsDir := fs.String("models", "models", "model registry directory")
+	logPath := fs.String("log", "", "Darshan text log to diagnose")
+	top := fs.Int("top", 9, "factors to display")
+	interp := fs.String("interpreter", "shap", "shap, treeshap or lime")
+	advise := fs.Bool("advise", false, "print tuning recommendations with model-predicted gains")
+	withRules := fs.Bool("rules", false, "also print static-rule (Drishti-style) findings")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logPath == "" {
+		return fmt.Errorf("diagnose: -log is required")
+	}
+	ens, err := core.LoadEnsemble(*modelsDir)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*logPath)
+	if err != nil {
+		return err
+	}
+	rec, err := darshan.ParseLog(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultDiagnoseOptions()
+	opts.Interpreter = core.Interpreter(*interp)
+	diag, err := ens.Diagnose(rec, opts)
+	if err != nil {
+		return err
+	}
+
+	report.KV(os.Stdout, "application", "%s", rec.App)
+	report.KV(os.Stdout, "measured performance", "%.2f MiB/s", diag.ActualMiBps)
+	report.KV(os.Stdout, "closest model", "%s (%.2f MiB/s)",
+		diag.PerModel[diag.ClosestIndex].Name, diag.PerModel[diag.ClosestIndex].PredictedMiBps)
+	bars := []report.Bar{}
+	for _, fct := range diag.TopFactors(*top) {
+		bars = append(bars, report.Bar{Label: fct.Counter.String(), Value: fct.Contribution})
+	}
+	report.HBars(os.Stdout, "merged diagnosis (Average Method):", bars, 28)
+	if b := diag.Bottlenecks(); len(b) > 0 {
+		fmt.Printf("top bottleneck: %s (value %g, impact %+.4f)\n",
+			b[0].Counter, b[0].Value, b[0].Contribution)
+	} else {
+		fmt.Println("no negative factors found")
+	}
+
+	if *advise {
+		recs, err := tune.New(ens).Advise(diag, 1.05)
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			fmt.Println("no tuning with a predicted gain above 5% found")
+		}
+		for _, rc := range recs {
+			fmt.Printf("advice: %-24s predicted %.1fx (%.0f MiB/s) — %s\n",
+				rc.Action, rc.PredictedGain, rc.PredictedMiBps, rc.Description)
+		}
+	}
+	if *withRules {
+		for _, f := range rules.Diagnose(rec) {
+			fmt.Printf("rule [%s] %s: %s\n", f.Severity, f.Rule, f.Detail)
+		}
+	}
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	id := fs.String("id", "all", "experiment id: all, table1..3, fig1, fig4..fig17, "+
+		"classification, advisor, mpiio, rules, pdp, cross-platform, treeshap, unseen")
+	fast := fs.Bool("fast", true, "reduced-scale run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	e := experiments.NewEnv(*fast)
+	w := os.Stdout
+	run := map[string]func() error{
+		"table1": func() error { _, err := experiments.RunTable1(e, w); return err },
+		"table2": func() error { _, err := experiments.RunTable2(e, w); return err },
+		"table3": func() error { _, err := experiments.RunTable3(e, w); return err },
+		"fig1":   func() error { _, err := experiments.RunFigure1(e, w); return err },
+		"fig4":   func() error { _, err := experiments.RunFigure4(e, w); return err },
+		"fig5":   func() error { _, err := experiments.RunFigure5(e, w); return err },
+		"fig6":   func() error { _, err := experiments.RunFigure6(e, w); return err },
+		"fig7":   func() error { _, err := experiments.RunPattern(e, w, 1); return err },
+		"fig8":   func() error { _, err := experiments.RunPattern(e, w, 2); return err },
+		"fig9":   func() error { _, err := experiments.RunPattern(e, w, 3); return err },
+		"fig10":  func() error { _, err := experiments.RunPattern(e, w, 4); return err },
+		"fig11":  func() error { _, err := experiments.RunPattern(e, w, 5); return err },
+		"fig12":  func() error { _, err := experiments.RunPattern(e, w, 6); return err },
+		"fig13":  func() error { _, err := experiments.RunFigure13(e, w); return err },
+		"fig14":  func() error { _, err := experiments.RunFigure14(e, w); return err },
+		"fig15":  func() error { _, err := experiments.RunFigure15(e, w); return err },
+		"fig16":  func() error { _, err := experiments.RunFigure16(e, w); return err },
+		"fig17":  func() error { _, err := experiments.RunFigure17(e, w); return err },
+		"classification": func() error {
+			_, err := experiments.RunExtensionClassification(e, w)
+			return err
+		},
+		"advisor":        func() error { _, err := experiments.RunExtensionTuningAdvisor(e, w); return err },
+		"mpiio":          func() error { _, err := experiments.RunExtensionMPIIO(e, w); return err },
+		"rules":          func() error { _, err := experiments.RunAblationRules(e, w); return err },
+		"pdp":            func() error { _, err := experiments.RunAblationPDP(e, w); return err },
+		"cross-platform": func() error { _, err := experiments.RunAblationCrossPlatform(e, w); return err },
+		"treeshap":       func() error { _, err := experiments.RunAblationTreeSHAP(e, w); return err },
+		"unseen":         func() error { _, err := experiments.RunAblationUnseenApp(e, w); return err },
+		"all":            func() error { return experiments.RunAll(e, w) },
+	}
+	fn, ok := run[*id]
+	if !ok {
+		return fmt.Errorf("experiment: unknown id %q", *id)
+	}
+	return fn()
+}

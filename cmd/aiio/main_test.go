@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/iosim"
+	"github.com/hpc-repro/aiio/internal/workload"
+)
+
+// TestCLIPipeline drives the full CLI flow in-process: generate a database,
+// train a registry, simulate a job log, diagnose it with advice and rules.
+func TestCLIPipeline(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "db.darshan")
+	models := filepath.Join(dir, "models")
+
+	if err := cmdGenDB([]string{"-jobs", "400", "-seed", "3", "-o", db}); err != nil {
+		t.Fatalf("gen-db: %v", err)
+	}
+	if fi, err := os.Stat(db); err != nil || fi.Size() == 0 {
+		t.Fatalf("database file missing: %v", err)
+	}
+
+	if err := cmdTrain([]string{"-db", db, "-models", models, "-fast", "-seed", "3"}); err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(models, "manifest.json")); err != nil {
+		t.Fatalf("manifest missing: %v", err)
+	}
+
+	// Produce a job log with the flag-compatible IOR simulator path used by
+	// cmd/iorsim (reuse the library to avoid exec).
+	logPath := filepath.Join(dir, "job.darshan")
+	if err := writeTestJobLog(logPath); err != nil {
+		t.Fatalf("write job log: %v", err)
+	}
+
+	if err := cmdDiagnose([]string{"-models", models, "-log", logPath,
+		"-advise", "-rules", "-top", "5"}); err != nil {
+		t.Fatalf("diagnose: %v", err)
+	}
+	if err := cmdDiagnose([]string{"-models", models, "-log", logPath,
+		"-interpreter", "treeshap"}); err != nil {
+		t.Fatalf("diagnose treeshap: %v", err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if err := cmdDiagnose([]string{}); err == nil {
+		t.Error("diagnose without -log accepted")
+	}
+	if err := cmdDiagnose([]string{"-log", "does-not-exist", "-models", "nope"}); err == nil {
+		t.Error("diagnose with missing registry accepted")
+	}
+	if err := cmdTrain([]string{"-db", "does-not-exist"}); err == nil {
+		t.Error("train with missing db accepted")
+	}
+	if err := cmdExperiment([]string{"-id", "bogus"}); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestCLIExperimentTable3(t *testing.T) {
+	// table3 is the only experiment cheap enough for a unit test (no
+	// training); it exercises the experiment dispatch path.
+	if err := cmdExperiment([]string{"-id", "table3"}); err != nil {
+		t.Fatalf("experiment table3: %v", err)
+	}
+}
+
+// writeTestJobLog produces a small slow-job Darshan log on disk.
+func writeTestJobLog(path string) error {
+	cfg, err := workload.ParseIORFlags("ior -w -t 1k -b 256k -Y")
+	if err != nil {
+		return err
+	}
+	cfg.NProcs = 8
+	params := iosim.DefaultParams()
+	params.NoiseSigma = 0
+	rec, _ := cfg.Run("ior", 1, 9, params)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return darshan.WriteLog(f, rec)
+}

@@ -1,0 +1,69 @@
+// Command iorsim runs an IOR command line against the simulated parallel
+// file system and emits the resulting Darshan log:
+//
+//	iorsim -nprocs 256 -o job.darshan ior -w -t 1k -b 1m -Y
+//
+// The IOR flags follow Table 3 of the paper (-w/-r, -t, -b, -s, -z, -Y, -F,
+// -a POSIX). The output log can be fed to "aiio diagnose" or to the web
+// service.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/iosim"
+	"github.com/hpc-repro/aiio/internal/workload"
+)
+
+func main() {
+	nprocs := flag.Int("nprocs", 256, "MPI task count")
+	stripeSize := flag.String("stripe-size", "1m", "Lustre stripe size")
+	stripeWidth := flag.Int("stripe-width", 1, "Lustre stripe width (OST count)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	noSeekPerRead := flag.Bool("no-seek-per-read", false,
+		"apply the paper's IOR fix: seek only before the first read")
+	out := flag.String("o", "", "output Darshan log (default stdout)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "iorsim: missing IOR command line, e.g.: iorsim ior -w -t 1k -b 1m -Y")
+		os.Exit(2)
+	}
+	cfg, err := workload.ParseIORFlags(strings.Join(flag.Args(), " "))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iorsim: %v\n", err)
+		os.Exit(1)
+	}
+	cfg.NProcs = *nprocs
+	sz, err := workload.ParseSize(*stripeSize)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iorsim: %v\n", err)
+		os.Exit(1)
+	}
+	cfg.FS = iosim.FSConfig{StripeSize: sz, StripeWidth: *stripeWidth}
+	if *noSeekPerRead {
+		cfg.SeekPerRead = false
+	}
+
+	rec, res := cfg.Run("ior", 1, *seed, iosim.DefaultParams())
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iorsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := darshan.WriteLog(w, rec); err != nil {
+		fmt.Fprintf(os.Stderr, "iorsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "performance: %.2f MiB/s (slowest process %.4fs, %d procs)\n",
+		res.PerfMiBps, res.SlowestSeconds, *nprocs)
+}

@@ -1,0 +1,40 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section in one run, printing the text artifacts:
+//
+//	paperbench [-full]
+//
+// -full runs closer to the paper's workload sizes (256-task IOR, the full
+// E2E grid) and takes several minutes; the default reduced scale finishes in
+// well under a minute. EXPERIMENTS.md records a captured run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/hpc-repro/aiio/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "paper-scale workloads (slow)")
+	flag.Parse()
+
+	e := experiments.NewEnv(!*full)
+	start := time.Now()
+	fmt.Printf("AIIO paper reproduction — %s scale, database of %d simulated jobs\n",
+		scaleName(*full), e.DBJobs)
+	if err := experiments.RunAll(e, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func scaleName(full bool) string {
+	if full {
+		return "full"
+	}
+	return "reduced"
+}

@@ -1,0 +1,105 @@
+// Quickstart: train AIIO on a simulated I/O log database and diagnose one
+// badly-behaving job, end to end, using only the public aiio package.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/hpc-repro/aiio"
+)
+
+func main() {
+	// 1. Build the historical I/O log database (the paper trains on 6.6M
+	//    Cori jobs; the simulator generates a workload mixture with the
+	//    same counter -> performance structure).
+	fmt.Println("generating the I/O log database...")
+	db := aiio.GenerateDatabase(aiio.DatabaseConfig{Jobs: 1200, Seed: 1})
+	fmt.Printf("  %d jobs, average sparsity %.4f (paper: 0.2379)\n",
+		db.Len(), db.AverageSparsity())
+
+	// 2. Feature engineering (Eq. 1-2) and training the five performance
+	//    functions with the paper's 50/50 shuffled split + early stopping.
+	frame := aiio.BuildFrame(db)
+	opts := aiio.DefaultTrainOptions()
+	opts.Fast = true // reduced budgets; drop for full library-default runs
+	fmt.Println("training xgboost, lightgbm, catboost, mlp, tabnet...")
+	ens, rep, err := aiio.Train(frame, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range rep.Models {
+		fmt.Printf("  %-9s eval RMSE %.4f\n", m.Name, m.PredictionRMSE)
+	}
+
+	// 3. A new, unseen job: IOR writing sequentially with tiny synced
+	//    requests (the paper's pattern 1, Fig. 7a). In a real deployment
+	//    this record would come from a parsed Darshan log file.
+	rec := slowIORJob()
+	fmt.Printf("\ndiagnosing a %s job with measured %.2f MiB/s...\n", rec.App, rec.PerfMiBps)
+
+	diag, err := ens.Diagnose(rec, aiio.DefaultDiagnoseOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Read the diagnosis: negative contributions are bottlenecks.
+	fmt.Println("\ntop factors (merged Average Method):")
+	for _, f := range diag.TopFactors(9) {
+		marker := " "
+		if f.Contribution < 0 {
+			marker = "*" // bottleneck
+		}
+		fmt.Printf("  %s %-28s %+8.4f   (counter value %g)\n",
+			marker, f.Counter, f.Contribution, f.Value)
+	}
+	if b := diag.Bottlenecks(); len(b) > 0 {
+		fmt.Printf("\n=> dominant bottleneck: %s\n", b[0].Counter)
+		fmt.Println("   hint: increase the transfer size (the paper's fix gave 104x, Fig. 7)")
+	}
+
+	// 5. Persist the trained models the way the web service stores them.
+	dir, err := os.MkdirTemp("", "aiio-models-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := aiio.SaveModels(dir, ens); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmodel registry saved to %s\n", dir)
+}
+
+// slowIORJob produces the Darshan record of the paper's pattern 1 by writing
+// it through the log text format, as a user would hand AIIO a real log.
+func slowIORJob() *aiio.Record {
+	const logText = `# darshan log version: aiio-1.0
+# exe: ior
+# jobid: 4242
+# performance_mibps: 4.3
+nprocs	16
+LUSTRE_STRIPE_SIZE	1048576
+LUSTRE_STRIPE_WIDTH	1
+POSIX_OPENS	16
+POSIX_MEM_ALIGNMENT	8
+POSIX_FILE_ALIGNMENT	1048576
+POSIX_FILE_NOT_ALIGNED	4092
+POSIX_WRITES	4096
+POSIX_SEEKS	16
+POSIX_BYTES_WRITTEN	4194304
+POSIX_CONSEC_WRITES	4080
+POSIX_SEQ_WRITES	4080
+POSIX_SIZE_WRITE_100_1K	4096
+POSIX_ACCESS1_ACCESS	1024
+POSIX_ACCESS1_COUNT	4096
+`
+	rec, err := aiio.ParseLog(strings.NewReader(logText))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rec
+}

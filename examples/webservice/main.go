@@ -1,0 +1,86 @@
+// webservice demonstrates the AIIO web service of Section 3.4 / Fig. 17:
+// train the models, save them into a registry, start the HTTP service on a
+// loopback port, upload a Darshan log from a client, and print the JSON
+// diagnosis — the full production deployment path.
+//
+//	go run ./examples/webservice
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/hpc-repro/aiio"
+	"github.com/hpc-repro/aiio/internal/core"
+	"github.com/hpc-repro/aiio/internal/webservice"
+)
+
+func main() {
+	// Train and persist the models, as an operator would do offline.
+	fmt.Println("training and saving the model registry...")
+	db := aiio.GenerateDatabase(aiio.DatabaseConfig{Jobs: 1000, Seed: 1})
+	opts := aiio.DefaultTrainOptions()
+	opts.Fast = true
+	ens, _, err := aiio.Train(aiio.BuildFrame(db), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "aiio-registry-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := aiio.SaveModels(dir, ens); err != nil {
+		log.Fatal(err)
+	}
+
+	// Boot the service from the registry (what cmd/aiio-server does).
+	loaded, err := aiio.LoadModels(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{
+		Handler:           webservice.NewServer(loaded, core.DefaultDiagnoseOptions()).Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Printf("aiio web service listening on %s\n", baseURL)
+
+	// A user uploads their job's Darshan log.
+	client := webservice.NewClient(baseURL)
+	models, err := client.Models()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered models: %d\n", len(models))
+
+	rec, err := aiio.SimulateIOR("ior -w -t 1k -b 1m -Y", 16, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nuploading a log: %s, measured %.2f MiB/s\n", rec.App, rec.PerfMiBps)
+	resp, err := client.Diagnose(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("closest model: %s\n", resp.ClosestModel)
+	fmt.Printf("robust: %v\n", resp.Robust)
+	fmt.Println("bottlenecks:")
+	for i, b := range resp.Bottlenecks {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-28s %+8.4f\n", b.Counter, b.Contribution)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/hpc-repro/aiio
+
+go 1.22

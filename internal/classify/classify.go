@@ -1,0 +1,320 @@
+// Package classify implements the paper's named future-work direction
+// (Section 5): viewing I/O bottleneck diagnosis as a classification problem.
+// A synthetic dataset with accurately tagged bottlenecks — each job is
+// generated with one injected root cause — trains a one-vs-rest gradient-
+// boosted classifier, and recall and precision for the diagnosis become
+// measurable, exactly as the paper anticipates.
+//
+// The package also maps AIIO's regression+SHAP diagnosis onto the same
+// class space (via the flagged counter) so the two formulations can be
+// compared on the tagged data.
+package classify
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/features"
+	"github.com/hpc-repro/aiio/internal/gbdt"
+	"github.com/hpc-repro/aiio/internal/iosim"
+	"github.com/hpc-repro/aiio/internal/linalg"
+	"github.com/hpc-repro/aiio/internal/workload"
+)
+
+// Class is a tagged bottleneck root cause.
+type Class int
+
+// The class space: the paper's Section 4.1 pattern families plus the
+// metadata bottleneck and a well-tuned "none" class.
+const (
+	ClassNone Class = iota
+	ClassSmallSyncWrites
+	ClassSmallReads
+	ClassExcessiveSeeks
+	ClassStridedAccess
+	ClassRandomAccess
+	ClassMetadataLoad
+
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"none",
+	"small-sync-writes",
+	"small-reads",
+	"excessive-seeks",
+	"strided-access",
+	"random-access",
+	"metadata-load",
+}
+
+// String names the class.
+func (c Class) String() string {
+	if c < 0 || c >= NumClasses {
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// ClassOfCounter maps a flagged bottleneck counter to the class whose
+// mechanism it signals; used to project AIIO's SHAP diagnosis onto the
+// class space.
+func ClassOfCounter(id darshan.CounterID) Class {
+	switch id {
+	case darshan.PosixSizeWrite0_100, darshan.PosixSizeWrite100_1K,
+		darshan.PosixSizeWrite1K_10K, darshan.PosixWrites,
+		darshan.PosixConsecWrites, darshan.PosixSeqWrites:
+		return ClassSmallSyncWrites
+	case darshan.PosixSizeRead0_100, darshan.PosixSizeRead100_1K,
+		darshan.PosixSizeRead1K_10K, darshan.PosixReads,
+		darshan.PosixConsecReads, darshan.PosixSeqReads:
+		return ClassSmallReads
+	case darshan.PosixSeeks:
+		return ClassExcessiveSeeks
+	case darshan.PosixStride1Stride, darshan.PosixStride2Stride,
+		darshan.PosixStride3Stride, darshan.PosixStride4Stride,
+		darshan.PosixStride1Count, darshan.PosixStride2Count,
+		darshan.PosixStride3Count, darshan.PosixStride4Count:
+		return ClassStridedAccess
+	case darshan.PosixFileNotAligned, darshan.PosixMemNotAligned,
+		darshan.PosixRWSwitches:
+		return ClassRandomAccess
+	case darshan.PosixOpens, darshan.PosixStats:
+		return ClassMetadataLoad
+	}
+	return ClassNone
+}
+
+// Labeled is a tagged dataset: one class per frame row.
+type Labeled struct {
+	Frame  *features.Frame
+	Labels []Class
+}
+
+// Generate produces n tagged jobs by injecting one known bottleneck per
+// job: the generator families are the Section 4.1 patterns plus a
+// metadata-heavy reader and well-tuned baselines.
+func Generate(n int, seed int64, params iosim.Params) *Labeled {
+	ds := &darshan.Dataset{}
+	labels := make([]Class, 0, n)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		class := Class(rng.Intn(int(NumClasses)))
+		rec := generateClass(class, rng, params)
+		rec.JobID = int64(i + 1)
+		ds.Append(rec)
+		labels = append(labels, class)
+	}
+	return &Labeled{Frame: features.Build(ds), Labels: labels}
+}
+
+func generateClass(class Class, rng *rand.Rand, params iosim.Params) *darshan.Record {
+	cfg := workload.DefaultIOR()
+	cfg.NProcs = 2 << rng.Intn(4) // 2..16
+	cfg.FS = iosim.FSConfig{StripeSize: 1 * iosim.MiB, StripeWidth: 1 + rng.Intn(4)}
+	seed := rng.Int63()
+	transfers := int64(64 << rng.Intn(3))
+
+	switch class {
+	case ClassNone:
+		cfg.TransferSize = int64(1<<20) << rng.Intn(2) // 1-2 MiB
+		cfg.BlockSize = cfg.TransferSize * transfers / 8
+		if rng.Intn(2) == 0 {
+			cfg.Write = true
+		} else {
+			cfg.Read = true
+			cfg.SeekPerRead = false
+		}
+	case ClassSmallSyncWrites:
+		cfg.Write = true
+		cfg.TransferSize = int64(256) << rng.Intn(3) // 256B-1KiB
+		cfg.BlockSize = cfg.TransferSize * transfers
+		cfg.FsyncPerWrite = true
+	case ClassSmallReads:
+		cfg.Read = true
+		cfg.TransferSize = int64(256) << rng.Intn(3)
+		cfg.BlockSize = cfg.TransferSize * transfers
+		cfg.SeekPerRead = false
+	case ClassExcessiveSeeks:
+		cfg.Read = true
+		cfg.TransferSize = int64(4096) << rng.Intn(3)
+		cfg.BlockSize = cfg.TransferSize * transfers
+		cfg.SeekPerRead = true
+	case ClassStridedAccess:
+		cfg.Write = rng.Intn(2) == 0
+		cfg.Read = !cfg.Write
+		cfg.TransferSize = int64(1024) << rng.Intn(2)
+		cfg.BlockSize = cfg.TransferSize
+		cfg.Segments = int(transfers)
+		cfg.FsyncPerWrite = cfg.Write
+	case ClassRandomAccess:
+		cfg.Write = rng.Intn(2) == 0
+		cfg.Read = !cfg.Write
+		cfg.TransferSize = int64(1024) << rng.Intn(2)
+		cfg.BlockSize = cfg.TransferSize * transfers
+		cfg.RandomOffset = true
+		cfg.FsyncPerWrite = cfg.Write
+	case ClassMetadataLoad:
+		// Many tiny files: open/stat dominated.
+		nprocs := cfg.NProcs
+		files := 64 << rng.Intn(3)
+		job := iosim.Job{
+			Name: "tagged-metadata", NProcs: nprocs, FS: cfg.FS, Seed: seed,
+			Gen: func(rank int, emit func(darshan.Op)) {
+				for f := 0; f < files; f++ {
+					file := int32(f)
+					emit(darshan.Op{Kind: darshan.OpStat, File: file})
+					emit(darshan.Op{Kind: darshan.OpOpen, File: file})
+					emit(darshan.Op{Kind: darshan.OpRead, File: file, Offset: 0, Size: 16 * iosim.KiB})
+					emit(darshan.Op{Kind: darshan.OpClose, File: file})
+				}
+			},
+		}
+		rec, _ := iosim.Run(job, params)
+		rec.App = "tagged-metadata"
+		return rec
+	}
+	rec, _ := cfg.Run("tagged-ior", 0, seed, params)
+	return rec
+}
+
+// Config tunes classifier training.
+type Config struct {
+	Rounds       int
+	LearningRate float64
+	MaxDepth     int
+	Seed         int64
+}
+
+// DefaultConfig returns small-but-solid settings.
+func DefaultConfig() Config {
+	return Config{Rounds: 80, LearningRate: 0.15, MaxDepth: 5, Seed: 1}
+}
+
+// Classifier is a one-vs-rest gradient-boosted classifier over the 45
+// counters.
+type Classifier struct {
+	Models []*gbdt.Model // one score model per class
+}
+
+// Train fits one binary regressor per class (one-vs-rest with squared loss
+// on ±targets, the classic GBDT reduction).
+func Train(data *Labeled, cfg Config) (*Classifier, error) {
+	if data.Frame.Len() == 0 {
+		return nil, fmt.Errorf("classify: empty dataset")
+	}
+	if data.Frame.Len() != len(data.Labels) {
+		return nil, fmt.Errorf("classify: %d rows vs %d labels", data.Frame.Len(), len(data.Labels))
+	}
+	c := &Classifier{}
+	for class := Class(0); class < NumClasses; class++ {
+		y := make([]float64, len(data.Labels))
+		for i, l := range data.Labels {
+			if l == class {
+				y[i] = 1
+			}
+		}
+		gcfg := gbdt.DefaultConfig(gbdt.LeafWise)
+		gcfg.Rounds = cfg.Rounds
+		gcfg.LearningRate = cfg.LearningRate
+		gcfg.MaxDepth = cfg.MaxDepth
+		gcfg.Seed = cfg.Seed + int64(class)
+		gcfg.EarlyStoppingRounds = 0
+		m, err := gbdt.Train(gcfg, data.Frame.X, y, nil, nil)
+		if err != nil {
+			return nil, fmt.Errorf("classify: class %s: %w", class, err)
+		}
+		c.Models = append(c.Models, m)
+	}
+	return c, nil
+}
+
+// Scores returns the per-class scores for one transformed feature vector.
+func (c *Classifier) Scores(x []float64) []float64 {
+	out := make([]float64, len(c.Models))
+	for i, m := range c.Models {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// Predict returns the argmax class.
+func (c *Classifier) Predict(x []float64) Class {
+	scores := c.Scores(x)
+	best, bestV := Class(0), math.Inf(-1)
+	for i, s := range scores {
+		if s > bestV {
+			best, bestV = Class(i), s
+		}
+	}
+	return best
+}
+
+// PredictBatch classifies every row of x.
+func (c *Classifier) PredictBatch(x *linalg.Matrix) []Class {
+	out := make([]Class, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		out[i] = c.Predict(x.Row(i))
+	}
+	return out
+}
+
+// Metrics are the paper's anticipated evaluation: per-class precision and
+// recall plus the confusion matrix.
+type Metrics struct {
+	Accuracy  float64
+	Precision [NumClasses]float64
+	Recall    [NumClasses]float64
+	Confusion [NumClasses][NumClasses]int // [true][predicted]
+	N         int
+}
+
+// Evaluate scores predictions against true labels.
+func Evaluate(pred, truth []Class) *Metrics {
+	m := &Metrics{N: len(truth)}
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("classify: %d predictions vs %d labels", len(pred), len(truth)))
+	}
+	correct := 0
+	for i := range truth {
+		m.Confusion[truth[i]][pred[i]]++
+		if truth[i] == pred[i] {
+			correct++
+		}
+	}
+	if m.N > 0 {
+		m.Accuracy = float64(correct) / float64(m.N)
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		tp := m.Confusion[c][c]
+		var fp, fn int
+		for o := Class(0); o < NumClasses; o++ {
+			if o == c {
+				continue
+			}
+			fp += m.Confusion[o][c]
+			fn += m.Confusion[c][o]
+		}
+		if tp+fp > 0 {
+			m.Precision[c] = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			m.Recall[c] = float64(tp) / float64(tp+fn)
+		}
+	}
+	return m
+}
+
+// MacroF1 returns the macro-averaged F1 score.
+func (m *Metrics) MacroF1() float64 {
+	s := 0.0
+	for c := Class(0); c < NumClasses; c++ {
+		p, r := m.Precision[c], m.Recall[c]
+		if p+r > 0 {
+			s += 2 * p * r / (p + r)
+		}
+	}
+	return s / float64(NumClasses)
+}

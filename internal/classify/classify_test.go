@@ -1,0 +1,158 @@
+package classify
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/iosim"
+)
+
+func quietParams() iosim.Params {
+	p := iosim.DefaultParams()
+	p.NoiseSigma = 0
+	return p
+}
+
+var (
+	once sync.Once
+	trC  *Classifier
+	trD  *Labeled
+	teD  *Labeled
+	cErr error
+)
+
+func trained(t *testing.T) (*Classifier, *Labeled, *Labeled) {
+	t.Helper()
+	once.Do(func() {
+		trD = Generate(700, 1, quietParams())
+		teD = Generate(250, 2, quietParams())
+		trC, cErr = Train(trD, DefaultConfig())
+	})
+	if cErr != nil {
+		t.Fatalf("train: %v", cErr)
+	}
+	return trC, trD, teD
+}
+
+func TestClassNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Class(0); c < NumClasses; c++ {
+		name := c.String()
+		if name == "" || seen[name] {
+			t.Errorf("class %d has bad name %q", c, name)
+		}
+		seen[name] = true
+	}
+	if Class(-1).String() == "" || Class(99).String() == "" {
+		t.Error("out-of-range classes should stringify")
+	}
+}
+
+func TestGenerateLabeledCoverage(t *testing.T) {
+	_, tr, _ := trained(t)
+	counts := map[Class]int{}
+	for i, l := range tr.Labels {
+		counts[l]++
+		if err := tr.Frame.Records[i].Validate(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		if counts[c] < 10 {
+			t.Errorf("class %s has only %d samples", c, counts[c])
+		}
+	}
+}
+
+func TestClassifierRecallPrecision(t *testing.T) {
+	c, _, te := trained(t)
+	pred := c.PredictBatch(te.Frame.X)
+	m := Evaluate(pred, te.Labels)
+	if m.Accuracy < 0.8 {
+		t.Errorf("accuracy %.3f < 0.8 (confusion: %v)", m.Accuracy, m.Confusion)
+	}
+	for class := Class(1); class < NumClasses; class++ { // skip "none": fuzzy
+		if m.Recall[class] < 0.6 {
+			t.Errorf("recall[%s] = %.3f < 0.6", class, m.Recall[class])
+		}
+		if m.Precision[class] < 0.6 {
+			t.Errorf("precision[%s] = %.3f < 0.6", class, m.Precision[class])
+		}
+	}
+	if f1 := m.MacroF1(); f1 < 0.7 {
+		t.Errorf("macro F1 = %.3f", f1)
+	}
+}
+
+func TestClassOfCounterTotal(t *testing.T) {
+	// Every counter maps to exactly one class (possibly None) and the
+	// pattern-defining counters map to the right ones.
+	for id := darshan.CounterID(0); id < darshan.NumCounters; id++ {
+		c := ClassOfCounter(id)
+		if c < 0 || c >= NumClasses {
+			t.Errorf("counter %s maps to invalid class %d", id, c)
+		}
+	}
+	cases := map[darshan.CounterID]Class{
+		darshan.PosixSizeWrite100_1K: ClassSmallSyncWrites,
+		darshan.PosixSizeRead100_1K:  ClassSmallReads,
+		darshan.PosixSeeks:           ClassExcessiveSeeks,
+		darshan.PosixStride1Count:    ClassStridedAccess,
+		darshan.PosixFileNotAligned:  ClassRandomAccess,
+		darshan.PosixOpens:           ClassMetadataLoad,
+		darshan.NProcs:               ClassNone,
+	}
+	for id, want := range cases {
+		if got := ClassOfCounter(id); got != want {
+			t.Errorf("ClassOfCounter(%s) = %s, want %s", id, got, want)
+		}
+	}
+}
+
+func TestEvaluateEdgeCases(t *testing.T) {
+	m := Evaluate([]Class{0, 1, 1}, []Class{0, 1, 2})
+	if m.Accuracy < 0.66 || m.Accuracy > 0.67 {
+		t.Errorf("accuracy = %v", m.Accuracy)
+	}
+	if m.Confusion[2][1] != 1 {
+		t.Error("confusion matrix wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths accepted")
+		}
+	}()
+	Evaluate([]Class{0}, []Class{0, 1})
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(&Labeled{Frame: Generate(5, 1, quietParams()).Frame, Labels: []Class{0}}, DefaultConfig()); err == nil {
+		t.Error("mismatched labels accepted")
+	}
+}
+
+func TestClassifierDeterministic(t *testing.T) {
+	c, _, te := trained(t)
+	rng := rand.New(rand.NewSource(1))
+	i := rng.Intn(te.Frame.Len())
+	a := c.Predict(te.Frame.X.Row(i))
+	b := c.Predict(te.Frame.X.Row(i))
+	if a != b {
+		t.Error("prediction not deterministic")
+	}
+}
+
+func BenchmarkClassifierPredict(b *testing.B) {
+	data := Generate(300, 1, quietParams())
+	c, err := Train(data, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := data.Frame.X.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Predict(row)
+	}
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/hpc-repro/aiio/internal/linalg"
+)
+
+// KNN is a k-nearest-neighbour model over a reference matrix. It serves two
+// roles from the related work (Section 2.2): as a regressor (per-group
+// prediction) and as the classifier that assigns an unseen job to an
+// existing cluster — the step whose high error rate the paper cites as a
+// weakness of group-level methods.
+type KNN struct {
+	K      int
+	X      *linalg.Matrix
+	Y      []float64 // regression targets (optional)
+	Labels []int     // classification labels (optional)
+}
+
+// NewKNNRegressor builds a KNN regressor.
+func NewKNNRegressor(k int, x *linalg.Matrix, y []float64) *KNN {
+	if x.Rows != len(y) {
+		panic(fmt.Sprintf("cluster: knn %d rows vs %d targets", x.Rows, len(y)))
+	}
+	return &KNN{K: k, X: x, Y: y}
+}
+
+// NewKNNClassifier builds a KNN classifier over cluster labels.
+func NewKNNClassifier(k int, x *linalg.Matrix, labels []int) *KNN {
+	if x.Rows != len(labels) {
+		panic(fmt.Sprintf("cluster: knn %d rows vs %d labels", x.Rows, len(labels)))
+	}
+	return &KNN{K: k, X: x, Labels: labels}
+}
+
+// neighbours returns the indices of the k nearest rows to q.
+func (m *KNN) neighbours(q []float64) []int {
+	type nd struct {
+		i int
+		d float64
+	}
+	ds := make([]nd, m.X.Rows)
+	for i := 0; i < m.X.Rows; i++ {
+		row := m.X.Row(i)
+		s := 0.0
+		for j := range row {
+			diff := row[j] - q[j]
+			s += diff * diff
+		}
+		ds[i] = nd{i, s}
+	}
+	sort.Slice(ds, func(a, b int) bool {
+		if ds[a].d != ds[b].d {
+			return ds[a].d < ds[b].d
+		}
+		return ds[a].i < ds[b].i
+	})
+	k := m.K
+	if k > len(ds) {
+		k = len(ds)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = ds[i].i
+	}
+	return out
+}
+
+// Predict returns the mean target of the k nearest neighbours.
+func (m *KNN) Predict(q []float64) float64 {
+	if m.Y == nil {
+		panic("cluster: KNN has no regression targets")
+	}
+	nb := m.neighbours(q)
+	if len(nb) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, i := range nb {
+		s += m.Y[i]
+	}
+	return s / float64(len(nb))
+}
+
+// Classify returns the majority label of the k nearest neighbours (ties
+// broken by smaller label; Noise votes count).
+func (m *KNN) Classify(q []float64) int {
+	if m.Labels == nil {
+		panic("cluster: KNN has no labels")
+	}
+	nb := m.neighbours(q)
+	votes := map[int]int{}
+	for _, i := range nb {
+		votes[m.Labels[i]]++
+	}
+	best, bestN := Noise, -1
+	for l, n := range votes {
+		if n > bestN || (n == bestN && l < best) {
+			best, bestN = l, n
+		}
+	}
+	return best
+}

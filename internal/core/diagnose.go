@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/features"
+	"github.com/hpc-repro/aiio/internal/lime"
+	"github.com/hpc-repro/aiio/internal/shap"
+)
+
+// Interpreter selects the AI interpretation technology behind the diagnosis
+// function. The paper supports both but merges results only within one
+// technology (their scales differ).
+type Interpreter string
+
+// The supported interpreters.
+const (
+	// InterpreterSHAP runs Kernel SHAP against every model (the paper's
+	// model-agnostic default).
+	InterpreterSHAP Interpreter = "shap"
+	// InterpreterTreeSHAP uses the exact closed-form TreeSHAP for the
+	// boosted-tree models and Kernel SHAP for the neural ones — the hybrid
+	// the shap package applies automatically. Identical semantics (zero
+	// background, interventional), exact values, much faster on trees.
+	InterpreterTreeSHAP Interpreter = "treeshap"
+	// InterpreterLIME runs LIME; its scale differs from SHAP and results
+	// are never merged across interpreters (Section 3.3).
+	InterpreterLIME Interpreter = "lime"
+)
+
+// DiagnoseOptions configures a diagnosis.
+type DiagnoseOptions struct {
+	Interpreter Interpreter
+	SHAP        shap.Config
+	LIME        lime.Config
+}
+
+// DefaultDiagnoseOptions uses Kernel SHAP with its defaults, as the paper
+// mostly does.
+func DefaultDiagnoseOptions() DiagnoseOptions {
+	return DiagnoseOptions{
+		Interpreter: InterpreterSHAP,
+		SHAP:        shap.DefaultConfig(),
+		LIME:        lime.DefaultConfig(),
+	}
+}
+
+// ModelDiagnosis is the diagnosis of one job under one performance function
+// (or a merged pseudo-model).
+type ModelDiagnosis struct {
+	Name string
+	// Predicted is the model's transformed performance prediction;
+	// PredictedMiBps is the same in MiB/s.
+	Predicted      float64
+	PredictedMiBps float64
+	// Base is the expected performance E (f at the zero background).
+	Base float64
+	// Contributions are the per-counter C_j values (Eq. 4); exactly zero
+	// for counters that are zero in the log (robustness).
+	Contributions []float64
+	// AdditivityErr is |Base + ΣC − Predicted| (local accuracy residual).
+	AdditivityErr float64
+}
+
+// Diagnosis is the full AIIO output for one job.
+type Diagnosis struct {
+	Record *darshan.Record
+	// Actual is the transformed measured performance (the Eq. 1 tag after
+	// Eq. 2); ActualMiBps is the raw tag.
+	Actual      float64
+	ActualMiBps float64
+	// PerModel holds each performance function's diagnosis.
+	PerModel []ModelDiagnosis
+	// ClosestIndex is the Eq. 6 pick: the model whose prediction is nearest
+	// the measured performance.
+	ClosestIndex int
+	// Weights are the Eq. 8 accuracy weights (sum to 1), aligned with
+	// PerModel.
+	Weights []float64
+	// Closest and Average are the two merged diagnoses of Section 3.3.
+	Closest ModelDiagnosis
+	Average ModelDiagnosis
+}
+
+// Diagnose runs every performance function's diagnosis function on the job
+// and merges the results with both the Closest (Eq. 6) and Average
+// (Eq. 7–8) methods.
+func (e *Ensemble) Diagnose(rec *darshan.Record, opts DiagnoseOptions) (*Diagnosis, error) {
+	if len(e.Models) == 0 {
+		return nil, fmt.Errorf("core: ensemble has no models")
+	}
+	if opts.Interpreter == "" {
+		opts.Interpreter = InterpreterSHAP
+	}
+	x := features.TransformRecord(rec)
+	d := &Diagnosis{
+		Record:      rec,
+		Actual:      features.Transform(rec.PerfMiBps),
+		ActualMiBps: rec.PerfMiBps,
+	}
+
+	for _, m := range e.Models {
+		md := ModelDiagnosis{Name: m.Name()}
+		switch opts.Interpreter {
+		case InterpreterSHAP, InterpreterTreeSHAP:
+			var ex shap.Explanation
+			if gm, ok := TreeModel(m); ok && opts.Interpreter == InterpreterTreeSHAP {
+				ex = shap.NewTree(gm).Explain(x, nil)
+			} else {
+				ex = shap.New(m.PredictBatch, nil, opts.SHAP).Explain(x)
+			}
+			md.Predicted = ex.FX
+			md.Base = ex.Base
+			md.Contributions = ex.Phi
+			md.AdditivityErr = ex.AdditivityError()
+		case InterpreterLIME:
+			ex := lime.New(m.PredictBatch, nil, opts.LIME).Explain(x)
+			md.Predicted = ex.FX
+			md.Base = ex.Intercept
+			md.Contributions = ex.Phi
+			sum := ex.Intercept
+			for _, p := range ex.Phi {
+				sum += p
+			}
+			md.AdditivityErr = math.Abs(sum - ex.FX)
+		default:
+			return nil, fmt.Errorf("core: unknown interpreter %q", opts.Interpreter)
+		}
+		md.PredictedMiBps = features.Inverse(md.Predicted)
+		d.PerModel = append(d.PerModel, md)
+	}
+
+	d.ClosestIndex = closestModel(d.PerModel, d.Actual)
+	d.Weights = averageWeights(d.PerModel, d.Actual)
+
+	// Closest Method (Eq. 6): adopt the nearest model's diagnosis wholesale.
+	d.Closest = d.PerModel[d.ClosestIndex]
+	d.Closest.Name = "closest(" + d.PerModel[d.ClosestIndex].Name + ")"
+
+	// Average Method (Eq. 7): accuracy-weighted merge of contributions and
+	// expectations.
+	avg := ModelDiagnosis{Name: "average", Contributions: make([]float64, len(x))}
+	for mi, md := range d.PerModel {
+		w := d.Weights[mi]
+		avg.Predicted += w * md.Predicted
+		avg.Base += w * md.Base
+		for j, c := range md.Contributions {
+			avg.Contributions[j] += w * c
+		}
+		avg.AdditivityErr += w * md.AdditivityErr
+	}
+	avg.PredictedMiBps = features.Inverse(avg.Predicted)
+	d.Average = avg
+	return d, nil
+}
+
+// closestModel implements Eq. 6.
+func closestModel(models []ModelDiagnosis, actual float64) int {
+	best, bestErr := 0, math.Inf(1)
+	for i, md := range models {
+		if err := math.Abs(md.Predicted - actual); err < bestErr {
+			best, bestErr = i, err
+		}
+	}
+	return best
+}
+
+// averageWeights implements Eq. 8: r_m = Σ|ŷ−y| / |ŷ_m−y|, w_m = r_m / Σr.
+// A small epsilon keeps exact predictions from dividing by zero.
+func averageWeights(models []ModelDiagnosis, actual float64) []float64 {
+	const eps = 1e-9
+	total := 0.0
+	errs := make([]float64, len(models))
+	for i, md := range models {
+		errs[i] = math.Abs(md.Predicted-actual) + eps
+		total += errs[i]
+	}
+	r := make([]float64, len(models))
+	sumR := 0.0
+	for i := range models {
+		r[i] = total / errs[i]
+		sumR += r[i]
+	}
+	for i := range r {
+		r[i] /= sumR
+	}
+	return r
+}
+
+// Factor is one counter's contribution to a job's performance.
+type Factor struct {
+	Counter      darshan.CounterID
+	Contribution float64
+	// Value is the counter's raw (untransformed) value in the log.
+	Value float64
+}
+
+// Bottlenecks returns the merged (Average Method) negative contributors,
+// most negative first — AIIO's bottleneck list.
+func (d *Diagnosis) Bottlenecks() []Factor {
+	return d.Average.factors(d.Record, true)
+}
+
+// TopFactors returns the n largest-magnitude merged contributions (positive
+// and negative), as the paper's waterfall figures show.
+func (d *Diagnosis) TopFactors(n int) []Factor {
+	fs := d.Average.factors(d.Record, false)
+	if n > 0 && len(fs) > n {
+		fs = fs[:n]
+	}
+	return fs
+}
+
+// factors extracts non-zero contributions, sorted by (signed ascending when
+// negativeOnly, |magnitude| descending otherwise).
+func (md *ModelDiagnosis) factors(rec *darshan.Record, negativeOnly bool) []Factor {
+	var fs []Factor
+	for j, c := range md.Contributions {
+		if c == 0 {
+			continue
+		}
+		if negativeOnly && c >= 0 {
+			continue
+		}
+		f := Factor{Counter: darshan.CounterID(j), Contribution: c}
+		if rec != nil {
+			f.Value = rec.Counters[j]
+		}
+		fs = append(fs, f)
+	}
+	if negativeOnly {
+		sort.Slice(fs, func(i, j int) bool { return fs[i].Contribution < fs[j].Contribution })
+	} else {
+		sort.Slice(fs, func(i, j int) bool {
+			return math.Abs(fs[i].Contribution) > math.Abs(fs[j].Contribution)
+		})
+	}
+	return fs
+}
+
+// Factors exposes a per-model factor list (used by the Fig. 6 reproduction).
+func (md *ModelDiagnosis) Factors(rec *darshan.Record) []Factor {
+	return md.factors(rec, false)
+}
+
+// IsRobust verifies the Section 3.3 robustness property: every counter that
+// is zero in the record has exactly zero contribution in every per-model and
+// merged diagnosis.
+func (d *Diagnosis) IsRobust() bool {
+	check := func(md *ModelDiagnosis) bool {
+		for j, c := range md.Contributions {
+			if d.Record.Counters[j] == 0 && c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for i := range d.PerModel {
+		if !check(&d.PerModel[i]) {
+			return false
+		}
+	}
+	return check(&d.Closest) && check(&d.Average)
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/hpc-repro/aiio/internal/features"
+)
+
+// Table2Row is one row of the paper's Table 2: the RMSE of a performance
+// function (Eq. 3) and of the matching diagnosis function (Eq. 5).
+type Table2Row struct {
+	Name           string
+	PredictionRMSE float64
+	DiagnosisRMSE  float64
+}
+
+// Table2 is the reproduced Table 2.
+type Table2 struct {
+	Rows []Table2Row
+	// JobsEvaluated is the eval subsample size used for the SHAP-based
+	// diagnosis RMSE (full SHAP over millions of jobs is not what the
+	// metric needs).
+	JobsEvaluated int
+}
+
+// Row returns the row with the given name, or nil.
+func (t *Table2) Row(name string) *Table2Row {
+	for i := range t.Rows {
+		if t.Rows[i].Name == name {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}
+
+// EvaluateTable2 reproduces Table 2 on the eval frame: per-model prediction
+// and diagnosis RMSE, plus the Closest Method and Average Method rows. The
+// diagnosis RMSE follows Eq. 5: the error of E_i + Σ_j C_j against the
+// measured performance. maxJobs bounds the subsample diagnosed with SHAP
+// (0 means all).
+func EvaluateTable2(e *Ensemble, eval *features.Frame, maxJobs int, opts DiagnoseOptions) (*Table2, error) {
+	if eval.Len() == 0 {
+		return nil, fmt.Errorf("core: empty eval frame")
+	}
+	n := eval.Len()
+	idx := rand.New(rand.NewSource(7)).Perm(n)
+	if maxJobs > 0 && maxJobs < n {
+		idx = idx[:maxJobs]
+	}
+
+	type jobResult struct {
+		diag *Diagnosis
+		err  error
+	}
+	results := make([]jobResult, len(idx))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(idx) {
+		workers = len(idx)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range work {
+				diag, err := e.Diagnose(eval.Records[idx[k]], opts)
+				results[k] = jobResult{diag, err}
+			}
+		}()
+	}
+	for k := range idx {
+		work <- k
+	}
+	close(work)
+	wg.Wait()
+
+	predSq := make([]float64, len(e.Models))
+	diagSq := make([]float64, len(e.Models))
+	var closestPredSq, closestDiagSq, avgPredSq, avgDiagSq float64
+
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		d := r.diag
+		for mi := range d.PerModel {
+			md := &d.PerModel[mi]
+			pe := md.Predicted - d.Actual
+			predSq[mi] += pe * pe
+			de := diagValue(md) - d.Actual
+			diagSq[mi] += de * de
+		}
+		ce := d.Closest.Predicted - d.Actual
+		closestPredSq += ce * ce
+		cd := diagValue(&d.Closest) - d.Actual
+		closestDiagSq += cd * cd
+		ae := d.Average.Predicted - d.Actual
+		avgPredSq += ae * ae
+		ad := diagValue(&d.Average) - d.Actual
+		avgDiagSq += ad * ad
+	}
+
+	inv := 1 / float64(len(idx))
+	t := &Table2{JobsEvaluated: len(idx)}
+	for mi, m := range e.Models {
+		t.Rows = append(t.Rows, Table2Row{
+			Name:           m.Name(),
+			PredictionRMSE: math.Sqrt(predSq[mi] * inv),
+			DiagnosisRMSE:  math.Sqrt(diagSq[mi] * inv),
+		})
+	}
+	t.Rows = append(t.Rows,
+		Table2Row{Name: "closest", PredictionRMSE: math.Sqrt(closestPredSq * inv),
+			DiagnosisRMSE: math.Sqrt(closestDiagSq * inv)},
+		Table2Row{Name: "average", PredictionRMSE: math.Sqrt(avgPredSq * inv),
+			DiagnosisRMSE: math.Sqrt(avgDiagSq * inv)},
+	)
+	return t, nil
+}
+
+// diagValue is E_i + Σ_j C_j of Eq. 5.
+func diagValue(md *ModelDiagnosis) float64 {
+	s := md.Base
+	for _, c := range md.Contributions {
+		s += c
+	}
+	return s
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The model registry stores pre-trained performance functions on disk, the
+// way the AIIO web service manages its models (Section 3.4 / Fig. 17): one
+// gob file per model plus a JSON manifest.
+
+// manifestEntry describes one stored model.
+type manifestEntry struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	File string `json:"file"`
+}
+
+type manifest struct {
+	Models []manifestEntry `json:"models"`
+}
+
+const manifestName = "manifest.json"
+
+// SaveEnsemble writes every model of e into dir (created if missing).
+func SaveEnsemble(dir string, e *Ensemble) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: create registry dir: %w", err)
+	}
+	var man manifest
+	for _, m := range e.Models {
+		file := m.Name() + ".gob"
+		f, err := os.Create(filepath.Join(dir, file))
+		if err != nil {
+			return fmt.Errorf("core: create model file: %w", err)
+		}
+		if err := m.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		man.Models = append(man.Models, manifestEntry{Name: m.Name(), Kind: m.Kind(), File: file})
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), data, 0o644); err != nil {
+		return fmt.Errorf("core: write manifest: %w", err)
+	}
+	return nil
+}
+
+// LoadEnsemble reads a registry written by SaveEnsemble.
+func LoadEnsemble(dir string) (*Ensemble, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("core: read manifest: %w", err)
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("core: parse manifest: %w", err)
+	}
+	e := &Ensemble{}
+	for _, entry := range man.Models {
+		f, err := os.Open(filepath.Join(dir, entry.File))
+		if err != nil {
+			return nil, fmt.Errorf("core: open model %s: %w", entry.Name, err)
+		}
+		m, err := LoadModel(entry.Name, entry.Kind, f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("core: load model %s: %w", entry.Name, err)
+		}
+		e.Models = append(e.Models, m)
+	}
+	if len(e.Models) == 0 {
+		return nil, fmt.Errorf("core: registry %s holds no models", dir)
+	}
+	return e, nil
+}

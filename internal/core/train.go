@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/hpc-repro/aiio/internal/features"
+	"github.com/hpc-repro/aiio/internal/gbdt"
+	"github.com/hpc-repro/aiio/internal/mlp"
+	"github.com/hpc-repro/aiio/internal/tabnet"
+)
+
+// TrainOptions configures ensemble training. The defaults follow the
+// paper: all five models, shuffled 50/50 train/eval split, early stopping
+// after 10 stale rounds, library-default hyperparameters.
+type TrainOptions struct {
+	// Models selects which of the five models to train; nil means all.
+	Models []string
+	// SplitFrac is the training fraction of the shuffled split.
+	SplitFrac float64
+	// Seed drives the split and each model's internal randomness.
+	Seed int64
+	// Fast shrinks the budgets (rounds/epochs) for tests and examples.
+	Fast bool
+	// GBDTRounds / NNEpochs override the budgets when > 0.
+	GBDTRounds int
+	NNEpochs   int
+}
+
+// DefaultTrainOptions returns the paper configuration.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{SplitFrac: 0.5, Seed: 1}
+}
+
+// ModelReport carries the per-model evaluation of the performance function
+// (the "Prediction Func." column of Table 2).
+type ModelReport struct {
+	Name string
+	// RMSE of the prediction function on the eval split (Eq. 3).
+	PredictionRMSE float64
+}
+
+// TrainReport summarizes ensemble training.
+type TrainReport struct {
+	Models    []ModelReport
+	TrainSize int
+	EvalSize  int
+}
+
+// Ensemble is the set of trained performance functions AIIO diagnoses with.
+type Ensemble struct {
+	Models []Model
+}
+
+// Model returns the trained model with the given name, or nil.
+func (e *Ensemble) Model(name string) Model {
+	for _, m := range e.Models {
+		if m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// TrainEnsemble trains the selected performance functions on frame,
+// using the paper's shuffled split for training and early-stopping
+// evaluation, and reports each model's eval RMSE.
+func TrainEnsemble(frame *features.Frame, opts TrainOptions) (*Ensemble, *TrainReport, error) {
+	if frame.Len() < 10 {
+		return nil, nil, fmt.Errorf("core: dataset too small (%d records)", frame.Len())
+	}
+	if opts.SplitFrac <= 0 || opts.SplitFrac >= 1 {
+		opts.SplitFrac = 0.5
+	}
+	names := opts.Models
+	if len(names) == 0 {
+		names = ModelNames()
+	}
+	train, eval := frame.Split(opts.Seed, opts.SplitFrac)
+
+	gbdtRounds := 300
+	nnEpochs := 200
+	if opts.Fast {
+		gbdtRounds = 60
+		nnEpochs = 30
+	}
+	if opts.GBDTRounds > 0 {
+		gbdtRounds = opts.GBDTRounds
+	}
+	if opts.NNEpochs > 0 {
+		nnEpochs = opts.NNEpochs
+	}
+
+	ens := &Ensemble{}
+	report := &TrainReport{TrainSize: train.Len(), EvalSize: eval.Len()}
+
+	for _, name := range names {
+		var model Model
+		switch name {
+		case NameXGBoost, NameLightGBM, NameCatBoost:
+			variant := gbdt.LevelWise
+			if name == NameLightGBM {
+				variant = gbdt.LeafWise
+			} else if name == NameCatBoost {
+				variant = gbdt.Oblivious
+			}
+			cfg := gbdt.DefaultConfig(variant)
+			cfg.Rounds = gbdtRounds
+			cfg.Seed = opts.Seed
+			m, err := gbdt.Train(cfg, train.X, train.Y, eval.X, eval.Y)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: train %s: %w", name, err)
+			}
+			model = &gbdtModel{name: name, m: m}
+		case NameMLP:
+			cfg := mlp.DefaultConfig()
+			cfg.Epochs = nnEpochs
+			cfg.Seed = opts.Seed
+			if opts.Fast {
+				cfg.Hidden = []int{45, 24, 12}
+			}
+			m, err := mlp.Train(cfg, train.X, train.Y, eval.X, eval.Y)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: train %s: %w", name, err)
+			}
+			model = &mlpModel{m: m}
+		case NameTabNet:
+			cfg := tabnet.DefaultConfig()
+			cfg.Epochs = nnEpochs
+			cfg.Seed = opts.Seed
+			m, err := tabnet.Train(cfg, train.X, train.Y, eval.X, eval.Y)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: train %s: %w", name, err)
+			}
+			model = &tabnetModel{m: m}
+		default:
+			return nil, nil, fmt.Errorf("core: unknown model name %q", name)
+		}
+		ens.Models = append(ens.Models, model)
+		report.Models = append(report.Models, ModelReport{
+			Name:           name,
+			PredictionRMSE: features.RMSE(model.PredictBatch(eval.X), eval.Y),
+		})
+	}
+	return ens, report, nil
+}

@@ -1,0 +1,66 @@
+package darshan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseLog exercises the text-log parser with hostile input: it must
+// never panic, and anything it accepts must survive a write/parse round
+// trip.
+func FuzzParseLog(f *testing.F) {
+	f.Add("# darshan log version: aiio-1.0\n# exe: ior\nPOSIX_READS\t3\n")
+	f.Add("# jobid: 12\nPOSIX_WRITES\t1e9\nnprocs\t256\n")
+	f.Add("")
+	f.Add("#")
+	f.Add("# exe:")
+	f.Add("POSIX_READS\tNaN\n")
+	f.Add("POSIX_DUPS\t1\nUNKNOWN_COUNTER\t2\n")
+	f.Add("# performance_mibps: 1.5\n# slowest_seconds: 2\n")
+	f.Add(strings.Repeat("POSIX_SEEKS\t1\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		rec, err := ParseLog(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteLog(&buf, rec); err != nil {
+			t.Fatalf("WriteLog failed on accepted record: %v", err)
+		}
+		rec2, err := ParseLog(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of written log failed: %v", err)
+		}
+		// Counters must round-trip exactly (metadata strings may be
+		// normalized, e.g. whitespace in the app name).
+		if rec2.Counters != rec.Counters {
+			t.Fatalf("counters changed across round trip")
+		}
+	})
+}
+
+// FuzzParseDataset checks the multi-record splitter.
+func FuzzParseDataset(f *testing.F) {
+	one := "# darshan log version: aiio-1.0\n# jobid: 1\nPOSIX_READS\t1\n"
+	f.Add(one)
+	f.Add(one + "\n" + one)
+	f.Add("garbage\n" + one)
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ParseDataset(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteDataset(&buf, ds); err != nil {
+			t.Fatalf("WriteDataset failed: %v", err)
+		}
+		ds2, err := ParseDataset(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if ds2.Len() != ds.Len() {
+			t.Fatalf("record count changed: %d -> %d", ds.Len(), ds2.Len())
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package darshan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The text log format mirrors darshan-parser output closely enough to be
+// familiar: a commented header carrying job metadata, followed by one
+// "<counter-name>\t<value>" line per counter. It is the interchange format
+// between the workload runner, the log database on disk, and the AIIO web
+// service.
+
+// WriteLog writes rec in the text log format.
+func WriteLog(w io.Writer, rec *Record) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# darshan log version: aiio-1.0\n")
+	fmt.Fprintf(bw, "# exe: %s\n", rec.App)
+	fmt.Fprintf(bw, "# jobid: %d\n", rec.JobID)
+	fmt.Fprintf(bw, "# year: %d\n", rec.Year)
+	fmt.Fprintf(bw, "# performance_mibps: %s\n", formatFloat(rec.PerfMiBps))
+	fmt.Fprintf(bw, "# slowest_seconds: %s\n", formatFloat(rec.SlowestSeconds))
+	for id := CounterID(0); id < NumCounters; id++ {
+		fmt.Fprintf(bw, "%s\t%s\n", id, formatFloat(rec.Counters[id]))
+	}
+	return bw.Flush()
+}
+
+func formatFloat(v float64) string {
+	// Darshan counters are almost always integers; print them that way for
+	// familiar darshan-parser-looking output.
+	if v == math.Trunc(v) && math.Abs(v) < 1<<53 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ParseLog parses a single record from the text log format. Unknown counter
+// names are ignored (newer Darshan versions add counters AIIO does not use);
+// missing counters stay zero, which is exactly the sparsity semantics of
+// Section 3.1.
+func ParseLog(r io.Reader) (*Record, error) {
+	rec := &Record{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseHeaderLine(rec, line); err != nil {
+				return nil, fmt.Errorf("darshan: line %d: %w", lineno, err)
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("darshan: line %d: want \"name value\", got %q", lineno, line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("darshan: line %d: bad value %q: %w", lineno, fields[1], err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("darshan: line %d: non-finite value %q", lineno, fields[1])
+		}
+		if id, ok := CounterByName(fields[0]); ok {
+			rec.Counters[id] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("darshan: read log: %w", err)
+	}
+	return rec, nil
+}
+
+func parseHeaderLine(rec *Record, line string) error {
+	body := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+	key, value, found := strings.Cut(body, ":")
+	if !found {
+		return nil // free-form comment
+	}
+	key = strings.TrimSpace(key)
+	value = strings.TrimSpace(value)
+	switch key {
+	case "exe":
+		rec.App = value
+	case "jobid":
+		id, err := strconv.ParseInt(value, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad jobid %q: %w", value, err)
+		}
+		rec.JobID = id
+	case "year":
+		y, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("bad year %q: %w", value, err)
+		}
+		rec.Year = y
+	case "performance_mibps":
+		p, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("bad performance %q: %w", value, err)
+		}
+		rec.PerfMiBps = p
+	case "slowest_seconds":
+		s, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("bad slowest_seconds %q: %w", value, err)
+		}
+		rec.SlowestSeconds = s
+	}
+	return nil
+}
+
+// WriteDataset writes every record of d, separated by a blank line, so a
+// whole log database can live in one stream.
+func WriteDataset(w io.Writer, d *Dataset) error {
+	for i, rec := range d.Records {
+		if i > 0 {
+			if _, err := io.WriteString(w, "\n"); err != nil {
+				return err
+			}
+		}
+		if err := WriteLog(w, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseDataset parses a stream of records produced by WriteDataset. Records
+// are delimited by the log version header line.
+func ParseDataset(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	ds := &Dataset{}
+	var chunk strings.Builder
+	flush := func() error {
+		if chunk.Len() == 0 {
+			return nil
+		}
+		rec, err := ParseLog(strings.NewReader(chunk.String()))
+		if err != nil {
+			return err
+		}
+		ds.Append(rec)
+		chunk.Reset()
+		return nil
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# darshan log version:") {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+		chunk.WriteString(line)
+		chunk.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

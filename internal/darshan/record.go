@@ -1,0 +1,155 @@
+package darshan
+
+import (
+	"fmt"
+	"math"
+)
+
+// Record is one job's Darshan log reduced to the AIIO counter set plus the
+// metadata AIIO needs: the job identity and the performance tag derived from
+// Darshan's time-related counters (Eq. 1 of the paper:
+// total transferred bytes / elapsed time of the slowest process, in MiB/s).
+type Record struct {
+	JobID int64
+	// App is the executable name recorded in the log header.
+	App string
+	// Year is the log-database partition the record belongs to (Table 1).
+	Year int
+	// Counters holds the 45 POSIX counters in CounterID order.
+	Counters [NumCounters]float64
+	// PerfMiBps is the performance tag (Eq. 1), in MiB/s. It corresponds to
+	// the value Darshan estimates from its time-related counters; those
+	// counters themselves are "effects" and are never part of Counters.
+	PerfMiBps float64
+	// SlowestSeconds is the elapsed I/O time of the slowest process, kept for
+	// reporting; it is not a model feature.
+	SlowestSeconds float64
+}
+
+// Counter returns the value of counter id.
+func (r *Record) Counter(id CounterID) float64 { return r.Counters[id] }
+
+// SetCounter sets the value of counter id.
+func (r *Record) SetCounter(id CounterID, v float64) { r.Counters[id] = v }
+
+// TotalBytes returns the total transferred bytes (read + written).
+func (r *Record) TotalBytes() float64 {
+	return r.Counters[PosixBytesRead] + r.Counters[PosixBytesWritten]
+}
+
+// Sparsity returns the fraction of the 45 counters that are zero, matching
+// the per-job term of the paper's sparsity formula (Section 3.1).
+func (r *Record) Sparsity() float64 {
+	zeros := 0
+	for _, v := range r.Counters {
+		if v == 0 {
+			zeros++
+		}
+	}
+	return float64(zeros) / float64(NumCounters)
+}
+
+// NonZero returns the indices of counters with non-zero values, in canonical
+// order. The diagnosis functions use this as the active feature set: SHAP and
+// LIME must assign exactly zero contribution to the complement.
+func (r *Record) NonZero() []CounterID {
+	ids := make([]CounterID, 0, NumCounters)
+	for id := CounterID(0); id < NumCounters; id++ {
+		if r.Counters[id] != 0 {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Validate checks internal consistency of the record's counters. It returns
+// a descriptive error for the first violated invariant. The invariants mirror
+// what Darshan guarantees by construction:
+//
+//   - all counters are non-negative and finite
+//   - the read size histogram sums to POSIX_READS, the write histogram to
+//     POSIX_WRITES
+//   - consecutive accesses are a subset of sequential accesses
+//   - stride and access top-4 counts cannot exceed the total operation count
+func (r *Record) Validate() error {
+	for id := CounterID(0); id < NumCounters; id++ {
+		v := r.Counters[id]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("darshan: counter %s is not finite: %v", id, v)
+		}
+		if v < 0 {
+			return fmt.Errorf("darshan: counter %s is negative: %v", id, v)
+		}
+	}
+	var readHist, writeHist float64
+	for b := PosixSizeRead0_100; b <= PosixSizeRead100K_1M; b++ {
+		readHist += r.Counters[b]
+	}
+	for b := PosixSizeWrite0_100; b <= PosixSizeWrite100K_1M; b++ {
+		writeHist += r.Counters[b]
+	}
+	if readHist != r.Counters[PosixReads] {
+		return fmt.Errorf("darshan: read size histogram sums to %v, POSIX_READS is %v",
+			readHist, r.Counters[PosixReads])
+	}
+	if writeHist != r.Counters[PosixWrites] {
+		return fmt.Errorf("darshan: write size histogram sums to %v, POSIX_WRITES is %v",
+			writeHist, r.Counters[PosixWrites])
+	}
+	if r.Counters[PosixConsecReads] > r.Counters[PosixSeqReads] {
+		return fmt.Errorf("darshan: POSIX_CONSEC_READS %v exceeds POSIX_SEQ_READS %v",
+			r.Counters[PosixConsecReads], r.Counters[PosixSeqReads])
+	}
+	if r.Counters[PosixConsecWrites] > r.Counters[PosixSeqWrites] {
+		return fmt.Errorf("darshan: POSIX_CONSEC_WRITES %v exceeds POSIX_SEQ_WRITES %v",
+			r.Counters[PosixConsecWrites], r.Counters[PosixSeqWrites])
+	}
+	ops := r.Counters[PosixReads] + r.Counters[PosixWrites]
+	for c := PosixStride1Count; c <= PosixStride4Count; c++ {
+		if r.Counters[c] > ops {
+			return fmt.Errorf("darshan: %s %v exceeds total ops %v", c, r.Counters[c], ops)
+		}
+	}
+	for c := PosixAccess1Count; c <= PosixAccess4Count; c++ {
+		if r.Counters[c] > ops {
+			return fmt.Errorf("darshan: %s %v exceeds total ops %v", c, r.Counters[c], ops)
+		}
+	}
+	return nil
+}
+
+// Dataset is an in-memory collection of records — the I/O log database of
+// Section 3.1.
+type Dataset struct {
+	Records []*Record
+}
+
+// Len returns the number of records.
+func (d *Dataset) Len() int { return len(d.Records) }
+
+// Append adds a record.
+func (d *Dataset) Append(r *Record) { d.Records = append(d.Records, r) }
+
+// AverageSparsity implements the paper's database-level sparsity formula:
+// the mean over jobs of (zero counters / total counters). The paper reports
+// 0.2379 for the Cori database.
+func (d *Dataset) AverageSparsity() float64 {
+	if len(d.Records) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range d.Records {
+		sum += r.Sparsity()
+	}
+	return sum / float64(len(d.Records))
+}
+
+// YearSummary aggregates record counts by year, reproducing the structure of
+// Table 1.
+func (d *Dataset) YearSummary() map[int]int {
+	m := make(map[int]int)
+	for _, r := range d.Records {
+		m[r.Year]++
+	}
+	return m
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunAll regenerates every table and figure in paper order, writing the
+// text artifacts to w. It returns the first error.
+func RunAll(e *Env, w io.Writer) error {
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"Table 1", func() error { _, err := RunTable1(e, w); return err }},
+		{"Figure 4", func() error { _, err := RunFigure4(e, w); return err }},
+		{"Figure 5", func() error { _, err := RunFigure5(e, w); return err }},
+		{"Table 2", func() error { _, err := RunTable2(e, w); return err }},
+		{"Figure 1", func() error { _, err := RunFigure1(e, w); return err }},
+		{"Figure 6", func() error { _, err := RunFigure6(e, w); return err }},
+		{"Table 3", func() error { _, err := RunTable3(e, w); return err }},
+		{"Figure 7", func() error { _, err := RunPattern(e, w, 1); return err }},
+		{"Figure 8", func() error { _, err := RunPattern(e, w, 2); return err }},
+		{"Figure 9", func() error { _, err := RunPattern(e, w, 3); return err }},
+		{"Figure 10", func() error { _, err := RunPattern(e, w, 4); return err }},
+		{"Figure 11", func() error { _, err := RunPattern(e, w, 5); return err }},
+		{"Figure 12", func() error { _, err := RunPattern(e, w, 6); return err }},
+		{"Figure 13", func() error { _, err := RunFigure13(e, w); return err }},
+		{"Figure 14", func() error { _, err := RunFigure14(e, w); return err }},
+		{"Figure 15", func() error { _, err := RunFigure15(e, w); return err }},
+		{"Figure 16", func() error { _, err := RunFigure16(e, w); return err }},
+		{"Figure 17", func() error { _, err := RunFigure17(e, w); return err }},
+		{"Extension: classification", func() error { _, err := RunExtensionClassification(e, w); return err }},
+		{"Extension: tuning advisor", func() error { _, err := RunExtensionTuningAdvisor(e, w); return err }},
+		{"Extension: MPI-IO counters", func() error { _, err := RunExtensionMPIIO(e, w); return err }},
+		{"Ablation: rules", func() error { _, err := RunAblationRules(e, w); return err }},
+		{"Ablation: PDP", func() error { _, err := RunAblationPDP(e, w); return err }},
+		{"Ablation: cross-platform", func() error { _, err := RunAblationCrossPlatform(e, w); return err }},
+		{"Ablation: TreeSHAP", func() error { _, err := RunAblationTreeSHAP(e, w); return err }},
+		{"Ablation: unseen apps", func() error { _, err := RunAblationUnseenApp(e, w); return err }},
+	}
+	for _, s := range steps {
+		if err := s.fn(); err != nil {
+			return fmt.Errorf("experiments: %s: %w", s.name, err)
+		}
+	}
+	return nil
+}

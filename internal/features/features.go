@@ -1,0 +1,193 @@
+// Package features implements AIIO's feature engineering (Section 3.1): the
+// log10(x+1) transform (Eq. 2) applied to every counter and to the
+// performance tag (Eq. 1), conversion of Darshan datasets into model-ready
+// matrices, the paper's shuffled 50/50 train/evaluation split, RMSE (Eq. 3),
+// and standardization for the neural models.
+package features
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/linalg"
+)
+
+// Transform applies Eq. 2: x_new = log10(x_original + 1). It maps 0 to 0,
+// preserving the sparsity semantics of the Darshan log (missing counters
+// stay zero after transformation).
+func Transform(v float64) float64 {
+	return math.Log10(v + 1)
+}
+
+// Inverse undoes Transform.
+func Inverse(v float64) float64 {
+	return math.Pow(10, v) - 1
+}
+
+// TransformVector applies Transform element-wise into a new slice.
+func TransformVector(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = Transform(x)
+	}
+	return out
+}
+
+// TransformRecord converts a Darshan record into the 45-dimensional
+// transformed feature vector used by every model.
+func TransformRecord(rec *darshan.Record) []float64 {
+	out := make([]float64, darshan.NumCounters)
+	for i, v := range rec.Counters {
+		out[i] = Transform(v)
+	}
+	return out
+}
+
+// Frame is a model-ready dataset: transformed features, transformed
+// performance targets, and back-references to the originating records.
+type Frame struct {
+	// X is n × NumCounters, log10(x+1)-transformed.
+	X *linalg.Matrix
+	// Y is the transformed performance tag, log10(MiB/s + 1).
+	Y []float64
+	// Records are the source records, aligned with the rows of X.
+	Records []*darshan.Record
+}
+
+// Build constructs a Frame from a dataset.
+func Build(ds *darshan.Dataset) *Frame {
+	n := ds.Len()
+	f := &Frame{
+		X:       linalg.NewMatrix(n, int(darshan.NumCounters)),
+		Y:       make([]float64, n),
+		Records: make([]*darshan.Record, n),
+	}
+	for i, rec := range ds.Records {
+		row := f.X.Row(i)
+		for j, v := range rec.Counters {
+			row[j] = Transform(v)
+		}
+		f.Y[i] = Transform(rec.PerfMiBps)
+		f.Records[i] = rec
+	}
+	return f
+}
+
+// Len returns the number of samples.
+func (f *Frame) Len() int { return len(f.Y) }
+
+// Subset returns a new frame containing the given row indices.
+func (f *Frame) Subset(idx []int) *Frame {
+	out := &Frame{
+		X:       linalg.NewMatrix(len(idx), f.X.Cols),
+		Y:       make([]float64, len(idx)),
+		Records: make([]*darshan.Record, len(idx)),
+	}
+	for i, j := range idx {
+		if j < 0 || j >= f.Len() {
+			panic(fmt.Sprintf("features: subset index %d out of range [0,%d)", j, f.Len()))
+		}
+		copy(out.X.Row(i), f.X.Row(j))
+		out.Y[i] = f.Y[j]
+		out.Records[i] = f.Records[j]
+	}
+	return out
+}
+
+// Split shuffles the frame with the given seed and splits it into
+// train/eval parts, with frac of the rows going to train. The paper shuffles
+// and splits 50/50 (frac = 0.5).
+func (f *Frame) Split(seed int64, frac float64) (train, eval *Frame) {
+	if frac <= 0 || frac >= 1 {
+		panic(fmt.Sprintf("features: split fraction %v out of (0,1)", frac))
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(f.Len())
+	cut := int(float64(f.Len()) * frac)
+	return f.Subset(idx[:cut]), f.Subset(idx[cut:])
+}
+
+// RMSE implements Eq. 3 over parallel prediction/target slices.
+func RMSE(pred, y []float64) float64 {
+	if len(pred) != len(y) {
+		panic(fmt.Sprintf("features: RMSE length mismatch %d vs %d", len(pred), len(y)))
+	}
+	if len(y) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range y {
+		d := pred[i] - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(y)))
+}
+
+// Standardizer centers and scales features; the neural models (MLP, TabNet)
+// train better on standardized inputs. Columns with zero variance are left
+// centered but unscaled.
+type Standardizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitStandardizer computes per-column mean and standard deviation.
+func FitStandardizer(x *linalg.Matrix) *Standardizer {
+	s := &Standardizer{
+		Mean: make([]float64, x.Cols),
+		Std:  make([]float64, x.Cols),
+	}
+	if x.Rows == 0 {
+		for j := range s.Std {
+			s.Std[j] = 1
+		}
+		return s
+	}
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(x.Rows)
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Apply standardizes a single feature vector into a new slice.
+func (s *Standardizer) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// ApplyMatrix standardizes every row of x into a new matrix.
+func (s *Standardizer) ApplyMatrix(x *linalg.Matrix) *linalg.Matrix {
+	out := linalg.NewMatrix(x.Rows, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		orow := out.Row(i)
+		for j, v := range row {
+			orow[j] = (v - s.Mean[j]) / s.Std[j]
+		}
+	}
+	return out
+}

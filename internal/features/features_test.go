@@ -1,0 +1,156 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/linalg"
+)
+
+func TestTransformProperties(t *testing.T) {
+	if Transform(0) != 0 {
+		t.Error("Transform(0) must be 0 (sparsity preservation)")
+	}
+	if math.Abs(Transform(9)-1) > 1e-12 {
+		t.Errorf("Transform(9) = %v, want 1", Transform(9))
+	}
+	// Monotone + inverse round-trip property.
+	f := func(raw float64) bool {
+		v := math.Abs(math.Mod(raw, 1e9))
+		tv := Transform(v)
+		if Transform(v+1) < tv {
+			return false
+		}
+		back := Inverse(tv)
+		return math.Abs(back-v) <= 1e-6*(1+v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformReducesRange(t *testing.T) {
+	// The paper's Fig. 4 rationale: (1, 6309573) maps into (0.3, 6.8).
+	lo, hi := Transform(1), Transform(6309573)
+	if lo < 0.3 || lo > 0.31 {
+		t.Errorf("Transform(1) = %v", lo)
+	}
+	if hi < 6.7 || hi > 6.9 {
+		t.Errorf("Transform(6309573) = %v", hi)
+	}
+}
+
+func TestTransformRecordAndVector(t *testing.T) {
+	rec := &darshan.Record{}
+	rec.SetCounter(darshan.PosixReads, 99)
+	x := TransformRecord(rec)
+	if len(x) != int(darshan.NumCounters) {
+		t.Fatalf("len = %d", len(x))
+	}
+	if x[darshan.PosixReads] != 2 {
+		t.Errorf("transformed POSIX_READS = %v, want 2", x[darshan.PosixReads])
+	}
+	v := TransformVector([]float64{0, 9, 99})
+	if v[0] != 0 || v[1] != 1 || v[2] != 2 {
+		t.Errorf("TransformVector = %v", v)
+	}
+}
+
+func buildFrame(n int) *Frame {
+	ds := &darshan.Dataset{}
+	for i := 0; i < n; i++ {
+		rec := &darshan.Record{JobID: int64(i), PerfMiBps: float64(i + 1)}
+		rec.SetCounter(darshan.PosixWrites, float64(i))
+		ds.Append(rec)
+	}
+	return Build(ds)
+}
+
+func TestBuildAndSubset(t *testing.T) {
+	f := buildFrame(10)
+	if f.Len() != 10 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if f.Y[3] != Transform(4) {
+		t.Errorf("Y[3] = %v", f.Y[3])
+	}
+	if f.X.At(5, int(darshan.PosixWrites)) != Transform(5) {
+		t.Error("X not transformed")
+	}
+	sub := f.Subset([]int{2, 7})
+	if sub.Len() != 2 || sub.Records[1].JobID != 7 {
+		t.Errorf("Subset wrong: %+v", sub.Records)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Subset accepted out-of-range index")
+		}
+	}()
+	f.Subset([]int{99})
+}
+
+func TestSplitIsPartition(t *testing.T) {
+	f := buildFrame(101)
+	train, eval := f.Split(7, 0.5)
+	if train.Len()+eval.Len() != f.Len() {
+		t.Fatalf("split sizes %d + %d != %d", train.Len(), eval.Len(), f.Len())
+	}
+	seen := map[int64]int{}
+	for _, r := range train.Records {
+		seen[r.JobID]++
+	}
+	for _, r := range eval.Records {
+		seen[r.JobID]++
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("job %d appears %d times", id, n)
+		}
+	}
+	// Same seed same split; different seed different split.
+	train2, _ := f.Split(7, 0.5)
+	if train.Records[0].JobID != train2.Records[0].JobID {
+		t.Error("split not deterministic")
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if RMSE(nil, nil) != 0 {
+		t.Error("empty RMSE should be 0")
+	}
+	got := RMSE([]float64{1, 2}, []float64{1, 4})
+	if math.Abs(got-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("RMSE = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RMSE accepted mismatched lengths")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}
+
+func TestStandardizer(t *testing.T) {
+	x := linalg.FromRows([][]float64{{1, 10, 5}, {3, 10, 7}})
+	s := FitStandardizer(x)
+	if s.Mean[0] != 2 || s.Mean[1] != 10 {
+		t.Errorf("means = %v", s.Mean)
+	}
+	if s.Std[1] != 1 {
+		t.Error("zero-variance column should get unit std")
+	}
+	out := s.Apply([]float64{3, 10, 7})
+	if out[0] != 1 || out[1] != 0 {
+		t.Errorf("Apply = %v", out)
+	}
+	m := s.ApplyMatrix(x)
+	if m.At(0, 0) != -1 || m.At(1, 0) != 1 {
+		t.Errorf("ApplyMatrix = %+v", m)
+	}
+	empty := FitStandardizer(linalg.NewMatrix(0, 2))
+	if empty.Std[0] != 1 {
+		t.Error("empty fit should default std to 1")
+	}
+}

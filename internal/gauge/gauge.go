@@ -1,0 +1,176 @@
+// Package gauge reproduces the group-level I/O diagnosis approach of Gauge
+// (Del Rosario et al., PDSW'20) that the paper's Fig. 1 critiques: cluster
+// the log database with HDBSCAN, fit one performance model per cluster, and
+// read group-level feature importance off that shared model with a
+// cluster-mean SHAP background. The package exists to demonstrate the three
+// failure modes AIIO fixes:
+//
+//  1. the cluster-average prediction error hides large per-member errors
+//     (Fig. 1a);
+//  2. group-level importance differs from an individual member's (Fig. 1b
+//     vs 1c);
+//  3. the non-zero (cluster-mean) background assigns impact to counters
+//     whose value is zero for the member — the non-robustness of Fig. 1d.
+package gauge
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpc-repro/aiio/internal/cluster"
+	"github.com/hpc-repro/aiio/internal/features"
+	"github.com/hpc-repro/aiio/internal/gbdt"
+	"github.com/hpc-repro/aiio/internal/linalg"
+	"github.com/hpc-repro/aiio/internal/shap"
+)
+
+// Config tunes the Gauge-style analysis.
+type Config struct {
+	// MinClusterSize is the HDBSCAN parameter.
+	MinClusterSize int
+	// MemberIndex picks the member studied individually (the paper uses
+	// the 204th member of cluster Gamma); wrapped modulo the cluster size.
+	MemberIndex int
+	// ImportanceSample bounds how many members contribute to the group
+	// importance average.
+	ImportanceSample int
+	// SHAP configures the explainer.
+	SHAP shap.Config
+	Seed int64
+}
+
+// DefaultConfig mirrors the Fig. 1 setting at reproduction scale.
+func DefaultConfig() Config {
+	return Config{
+		MinClusterSize:   30,
+		MemberIndex:      204,
+		ImportanceSample: 24,
+		SHAP:             shap.DefaultConfig(),
+		Seed:             1,
+	}
+}
+
+// Result is the Fig. 1 data. Importance vectors live in Gauge's derived
+// feature space (the POSIX_*_PERC features of Fig. 1); use DerivedName to
+// label indices.
+type Result struct {
+	// Labels are the HDBSCAN labels over the frame.
+	Labels []int
+	// ClusterLabel is the studied (largest) cluster.
+	ClusterLabel int
+	// Members are frame row indices of the studied cluster.
+	Members []int
+	// MemberAbsErr is |prediction − actual| per member (Fig. 1a bars).
+	MemberAbsErr []float64
+	// GroupAbsErr is the cluster-average error (Fig. 1a "Average" line).
+	GroupAbsErr float64
+	// GroupImportance is the mean SHAP value per derived feature over the
+	// sampled members (Fig. 1b).
+	GroupImportance []float64
+	// SampleImportances are the per-member SHAP vectors behind the mean
+	// (the dots of the Fig. 1b beeswarm).
+	SampleImportances [][]float64
+	// MemberImportance is the SHAP values of the studied member (Fig. 1c).
+	MemberImportance []float64
+	// MemberIndex is the resolved member row (within Members).
+	MemberIndex int
+	// MemberZeroFeatures lists derived features that are zero for the
+	// member but still received non-zero impact — the Fig. 1d
+	// non-robustness (e.g. POSIX_write_only_bytes_perc getting −0.02 while
+	// being 0, the paper's example).
+	MemberZeroFeatures []int
+}
+
+// Analyze runs the Gauge-style pipeline on a feature frame.
+func Analyze(frame *features.Frame, cfg Config) (*Result, error) {
+	if cfg.MinClusterSize <= 0 {
+		cfg = DefaultConfig()
+	}
+	// Gauge operates in its derived feature space (POSIX_*_PERC + log
+	// magnitudes), not on the raw 45 counters.
+	derived := DeriveMatrix(frame.Records)
+	labels := cluster.HDBSCAN(derived, cluster.HDBSCANConfig{MinClusterSize: cfg.MinClusterSize})
+	label, err := cluster.LargestCluster(labels)
+	if err != nil {
+		return nil, fmt.Errorf("gauge: %w", err)
+	}
+	members := cluster.Members(labels, label)
+	res := &Result{Labels: labels, ClusterLabel: label, Members: members}
+
+	// One model for the whole group, as Gauge does.
+	groupX := linalg.NewMatrix(len(members), derived.Cols)
+	groupY := make([]float64, len(members))
+	for i, m := range members {
+		copy(groupX.Row(i), derived.Row(m))
+		groupY[i] = frame.Y[m]
+	}
+	gcfg := gbdt.DefaultConfig(gbdt.LeafWise)
+	gcfg.Rounds = 120
+	gcfg.Seed = cfg.Seed
+	gcfg.EarlyStoppingRounds = 0
+	model, err := gbdt.Train(gcfg, groupX, groupY, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("gauge: train group model: %w", err)
+	}
+
+	// Fig. 1a: per-member absolute prediction error vs the group average.
+	pred := model.PredictBatch(groupX)
+	res.MemberAbsErr = make([]float64, len(members))
+	for i := range members {
+		res.MemberAbsErr[i] = math.Abs(pred[i] - groupY[i])
+		res.GroupAbsErr += res.MemberAbsErr[i]
+	}
+	res.GroupAbsErr /= float64(len(members))
+
+	// Gauge explains against the cluster mean — a dense, non-zero
+	// background. That is exactly what makes it non-robust at the job
+	// level.
+	mean := make([]float64, groupX.Cols)
+	for i := 0; i < groupX.Rows; i++ {
+		row := groupX.Row(i)
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(groupX.Rows)
+	}
+	explainer := shap.New(model.PredictBatch, mean, cfg.SHAP)
+
+	// Fig. 1b: group importance = mean SHAP over sampled members.
+	res.GroupImportance = make([]float64, groupX.Cols)
+	sample := len(members)
+	if cfg.ImportanceSample > 0 && cfg.ImportanceSample < sample {
+		sample = cfg.ImportanceSample
+	}
+	for i := 0; i < sample; i++ {
+		ex := explainer.Explain(groupX.Row(i))
+		res.SampleImportances = append(res.SampleImportances, ex.Phi)
+		for j, p := range ex.Phi {
+			res.GroupImportance[j] += p / float64(sample)
+		}
+	}
+
+	// Fig. 1c/1d: the studied member.
+	res.MemberIndex = cfg.MemberIndex % len(members)
+	memberRow := groupX.Row(res.MemberIndex)
+	ex := explainer.Explain(memberRow)
+	res.MemberImportance = ex.Phi
+	for j, p := range ex.Phi {
+		if memberRow[j] == 0 && p != 0 {
+			res.MemberZeroFeatures = append(res.MemberZeroFeatures, j)
+		}
+	}
+	return res, nil
+}
+
+// TopCounter returns the index of the largest-|value| entry.
+func TopCounter(importance []float64) int {
+	best, bestV := 0, -1.0
+	for j, v := range importance {
+		if a := math.Abs(v); a > bestV {
+			best, bestV = j, a
+		}
+	}
+	return best
+}

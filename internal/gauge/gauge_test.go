@@ -1,0 +1,167 @@
+package gauge
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/features"
+	"github.com/hpc-repro/aiio/internal/logdb"
+)
+
+var (
+	once  sync.Once
+	res   *Result
+	frame *features.Frame
+	gErr  error
+)
+
+func analyzed(t *testing.T) (*Result, *features.Frame) {
+	t.Helper()
+	once.Do(func() {
+		ds := logdb.Generate(logdb.GenConfig{Jobs: 500, Seed: 21})
+		frame = features.Build(ds)
+		cfg := DefaultConfig()
+		cfg.MinClusterSize = 25
+		cfg.ImportanceSample = 12
+		cfg.SHAP.MaxExact = 8
+		cfg.SHAP.NSamples = 512
+		res, gErr = Analyze(frame, cfg)
+	})
+	if gErr != nil {
+		t.Fatalf("Analyze: %v", gErr)
+	}
+	return res, frame
+}
+
+func TestGaugeFindsACluster(t *testing.T) {
+	r, f := analyzed(t)
+	if len(r.Members) < 25 {
+		t.Fatalf("largest cluster has %d members", len(r.Members))
+	}
+	if len(r.Labels) != f.Len() {
+		t.Fatalf("labels length %d", len(r.Labels))
+	}
+}
+
+func TestGaugePerMemberErrorSpread(t *testing.T) {
+	// Fig. 1a: individual member errors differ substantially from the
+	// cluster-average error.
+	r, _ := analyzed(t)
+	if r.GroupAbsErr < 0 {
+		t.Fatal("negative group error")
+	}
+	maxErr := 0.0
+	for _, e := range r.MemberAbsErr {
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr <= r.GroupAbsErr {
+		t.Errorf("max member error %.4f not above group average %.4f", maxErr, r.GroupAbsErr)
+	}
+}
+
+func TestGaugeGroupVsMemberImportanceDiffer(t *testing.T) {
+	// Fig. 1b vs 1c: the group's importance vector is not the member's.
+	r, _ := analyzed(t)
+	same := true
+	for j := range r.GroupImportance {
+		if r.GroupImportance[j] != r.MemberImportance[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("group and member importance identical")
+	}
+}
+
+func TestGaugeNonRobustness(t *testing.T) {
+	// Fig. 1d: with the cluster-mean background, at least one zero-valued
+	// derived feature of the member receives non-zero impact. This is the
+	// failure AIIO's zero background fixes.
+	r, f := analyzed(t)
+	member := Derive(f.Records[r.Members[r.MemberIndex]])
+	hasZero := false
+	for _, v := range member {
+		if v == 0 {
+			hasZero = true
+		}
+	}
+	if !hasZero {
+		t.Skip("studied member has no zero features; cannot exercise the property")
+	}
+	if len(r.MemberZeroFeatures) == 0 {
+		t.Error("Gauge-style diagnosis was unexpectedly robust (no zero feature got impact)")
+	}
+	for _, j := range r.MemberZeroFeatures {
+		if name := DerivedName(j); name == "DERIVED_?" {
+			t.Errorf("zero feature %d has no name", j)
+		}
+	}
+}
+
+func TestTopCounter(t *testing.T) {
+	if TopCounter([]float64{0.1, -0.9, 0.3}) != 1 {
+		t.Error("TopCounter wrong")
+	}
+}
+
+func TestAnalyzeAllNoise(t *testing.T) {
+	// A tiny frame clusters to all noise; Analyze must error, not panic.
+	ds := logdb.Generate(logdb.GenConfig{Jobs: 10, Seed: 1})
+	f := features.Build(ds)
+	cfg := DefaultConfig()
+	cfg.MinClusterSize = 50
+	if _, err := Analyze(f, cfg); err == nil {
+		t.Error("Analyze accepted an unclusterable frame")
+	}
+}
+
+func TestDeriveFeatures(t *testing.T) {
+	rec := &darshan.Record{}
+	rec.SetCounter(darshan.NProcs, 9)
+	rec.SetCounter(darshan.PosixWrites, 100)
+	rec.SetCounter(darshan.PosixSeqWrites, 80)
+	rec.SetCounter(darshan.PosixConsecWrites, 60)
+	rec.SetCounter(darshan.PosixSizeWrite100_1K, 100)
+	rec.SetCounter(darshan.PosixBytesWritten, 1<<20)
+	rec.SetCounter(darshan.PosixFileNotAligned, 25)
+
+	x := Derive(rec)
+	if x[SeqWritesPerc] != 0.8 {
+		t.Errorf("SEQ_WRITES_PERC = %v", x[SeqWritesPerc])
+	}
+	if x[ConsecWritesPerc] != 0.6 {
+		t.Errorf("CONSEC_WRITES_PERC = %v", x[ConsecWritesPerc])
+	}
+	if x[SizeWrite100_1KPerc] != 1 {
+		t.Errorf("SIZE_WRITE_100_1K_PERC = %v", x[SizeWrite100_1KPerc])
+	}
+	if x[FileNotAlignedPerc] != 0.25 {
+		t.Errorf("FILE_NOT_ALIGNED_PERC = %v", x[FileNotAlignedPerc])
+	}
+	// Write-only job: all bytes are writes, read percs all zero.
+	if x[WriteOnlyBytesPerc] != 1 || x[ReadOnlyBytesPerc] != 0 {
+		t.Errorf("byte percs = %v/%v", x[WriteOnlyBytesPerc], x[ReadOnlyBytesPerc])
+	}
+	for i := SizeRead0_100Perc; i <= SizeRead100K_1MPerc; i++ {
+		if x[i] != 0 {
+			t.Errorf("read perc %s nonzero for write-only job", DerivedName(int(i)))
+		}
+	}
+	if x[LogNProcs] != 1 {
+		t.Errorf("LOG_NPROCS = %v", x[LogNProcs])
+	}
+	// Empty record: everything zero, no NaNs.
+	for i, v := range Derive(&darshan.Record{}) {
+		if v != 0 {
+			t.Errorf("empty record feature %s = %v", DerivedName(i), v)
+		}
+	}
+	names := DerivedNames()
+	if len(names) != int(NumDerived) {
+		t.Fatalf("%d names", len(names))
+	}
+}

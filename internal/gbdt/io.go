@@ -1,0 +1,25 @@
+package gbdt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Save gob-encodes the model. The format is stable across runs of the same
+// binary version and is what the AIIO web service's model registry stores.
+func (m *Model) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(m); err != nil {
+		return fmt.Errorf("gbdt: encode model: %w", err)
+	}
+	return nil
+}
+
+// Load decodes a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var m Model
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("gbdt: decode model: %w", err)
+	}
+	return &m, nil
+}

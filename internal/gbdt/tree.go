@@ -1,0 +1,121 @@
+package gbdt
+
+// Node is one node of a regression tree. Leaves have Feature == -1.
+// Internal nodes route a sample left when its raw feature value is
+// <= Threshold (equivalently, its bin is <= Bin).
+type Node struct {
+	Feature   int32
+	Bin       uint8
+	Threshold float64
+	Left      int32
+	Right     int32
+	Value     float64 // leaf value (already shrunk by the learning rate)
+}
+
+// Tree is a flat-array regression tree.
+type Tree struct {
+	Nodes []Node
+}
+
+// leaf appends a leaf node and returns its index.
+func (t *Tree) leaf(value float64) int32 {
+	t.Nodes = append(t.Nodes, Node{Feature: -1, Value: value})
+	return int32(len(t.Nodes) - 1)
+}
+
+// split appends an internal node and returns its index; children are
+// patched in later.
+func (t *Tree) split(feature int32, bin uint8, threshold float64) int32 {
+	t.Nodes = append(t.Nodes, Node{Feature: feature, Bin: bin, Threshold: threshold})
+	return int32(len(t.Nodes) - 1)
+}
+
+// Predict routes a raw (untransformed-by-binning) feature vector to a leaf.
+func (t *Tree) Predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		n := &t.Nodes[i]
+		if n.Feature < 0 {
+			return n.Value
+		}
+		if x[n.Feature] <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// predictBinned routes a pre-binned sample (column-major bins) to a leaf.
+func (t *Tree) predictBinned(cols [][]uint8, sample int) float64 {
+	i := int32(0)
+	for {
+		n := &t.Nodes[i]
+		if n.Feature < 0 {
+			return n.Value
+		}
+		if cols[n.Feature][sample] <= n.Bin {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// NumLeaves counts the leaves.
+func (t *Tree) NumLeaves() int {
+	n := 0
+	for i := range t.Nodes {
+		if t.Nodes[i].Feature < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Depth returns the maximum root-to-leaf depth (a single leaf has depth 0).
+func (t *Tree) Depth() int {
+	if len(t.Nodes) == 0 {
+		return 0
+	}
+	var walk func(i int32) int
+	walk = func(i int32) int {
+		n := &t.Nodes[i]
+		if n.Feature < 0 {
+			return 0
+		}
+		l, r := walk(n.Left), walk(n.Right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(0)
+}
+
+// IsOblivious reports whether every level of the tree splits on the same
+// (feature, bin) pair — the CatBoost symmetric-tree property.
+func (t *Tree) IsOblivious() bool {
+	type key struct {
+		f int32
+		b uint8
+	}
+	levels := map[int]key{}
+	var walk func(i int32, depth int) bool
+	walk = func(i int32, depth int) bool {
+		n := &t.Nodes[i]
+		if n.Feature < 0 {
+			return true
+		}
+		k := key{n.Feature, n.Bin}
+		if prev, ok := levels[depth]; ok {
+			if prev != k {
+				return false
+			}
+		} else {
+			levels[depth] = k
+		}
+		return walk(n.Left, depth+1) && walk(n.Right, depth+1)
+	}
+	return walk(0, 0)
+}

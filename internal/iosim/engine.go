@@ -1,0 +1,334 @@
+package iosim
+
+import (
+	"sort"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+)
+
+// ostDemand is the load one OST receives.
+type ostDemand struct {
+	bytes        float64 // bytes moved to/from the OST
+	commitRPCs   float64 // synchronous (fsync-forced) write RPCs
+	bufferedRPCs float64 // write-back flush RPCs
+	readRPCs     float64 // read RPCs
+	seeks        float64 // discontiguous RPCs
+}
+
+// serverDemand accumulates, per OST, the load a process places on the
+// storage servers. Striping maps each RPC chunk to the OST serving its
+// stripe (rotated by the file id, like Lustre's per-file starting OST), so
+// imbalanced access patterns create straggler OSTs instead of vanishing
+// into a perfectly balanced average.
+type serverDemand struct {
+	ost    []ostDemand
+	mdsOps float64 // metadata operations (open/stat); MDS is not striped
+}
+
+func newServerDemand(width int) serverDemand {
+	return serverDemand{ost: make([]ostDemand, width)}
+}
+
+func (d *serverDemand) add(o serverDemand) {
+	if len(d.ost) < len(o.ost) {
+		grown := make([]ostDemand, len(o.ost))
+		copy(grown, d.ost)
+		d.ost = grown
+	}
+	for i := range o.ost {
+		d.ost[i].bytes += o.ost[i].bytes
+		d.ost[i].commitRPCs += o.ost[i].commitRPCs
+		d.ost[i].bufferedRPCs += o.ost[i].bufferedRPCs
+		d.ost[i].readRPCs += o.ost[i].readRPCs
+		d.ost[i].seeks += o.ost[i].seeks
+	}
+	d.mdsOps += o.mdsOps
+}
+
+// serverSeconds converts the per-OST demand into the storage system's busy
+// time: the OSTs work in parallel, so the data path finishes with the most
+// loaded OST; the MDS is a single shared service.
+func serverSeconds(d serverDemand, p *Params, fs FSConfig) float64 {
+	slowest := 0.0
+	for i := range d.ost {
+		o := &d.ost[i]
+		t := o.bytes / p.OSTBandwidth
+		t += o.commitRPCs / p.OSTCommitIOPS
+		t += o.bufferedRPCs / p.OSTWriteIOPS
+		t += o.readRPCs / p.OSTReadIOPS
+		t += o.seeks * p.OSTSeekPenalty
+		if t > slowest {
+			slowest = t
+		}
+	}
+	return slowest + d.mdsOps/p.MDSOpsPerSec
+}
+
+// extent is a dirty byte range [off, off+len) in the client cache.
+type extent struct {
+	off, end int64
+}
+
+// simFile is the per-(process, file) simulation state.
+type simFile struct {
+	id             int32
+	dirty          []extent // sorted, disjoint write-back extents
+	raStart, raEnd int64    // current read-ahead window
+	lastEnd        int64    // end offset of the last data access
+	lastServerOff  int64    // where the server-side stream left off
+	touched        bool
+	firstTouch     bool
+}
+
+// ProcSim simulates the I/O time of one process. Like darshan.ProcCollector
+// it is single-goroutine state; one ProcSim runs per rank.
+type ProcSim struct {
+	p        *Params
+	fs       FSConfig
+	clientS  float64 // serial client-side seconds
+	demand   serverDemand
+	files    map[int32]*simFile
+	rpcChunk int64
+}
+
+// NewProcSim returns the simulator state for one process.
+func NewProcSim(p *Params, fs FSConfig) *ProcSim {
+	fs = fs.normalized()
+	return &ProcSim{
+		p:        p,
+		fs:       fs,
+		demand:   newServerDemand(fs.StripeWidth),
+		files:    make(map[int32]*simFile),
+		rpcChunk: fs.rpcChunk(p),
+	}
+}
+
+// ostOf maps a file offset to the OST serving its stripe, rotating the
+// starting OST by the file id as Lustre does when it allocates objects.
+func (s *ProcSim) ostOf(f *simFile, off int64) *ostDemand {
+	i := (int64(f.id) + off/s.fs.StripeSize) % int64(s.fs.StripeWidth)
+	return &s.demand.ost[i]
+}
+
+func (s *ProcSim) file(id int32) *simFile {
+	f := s.files[id]
+	if f == nil {
+		f = &simFile{id: id, firstTouch: true}
+		s.files[id] = f
+	}
+	return f
+}
+
+// Observe advances the simulation by one operation.
+func (s *ProcSim) Observe(op darshan.Op) {
+	switch op.Kind {
+	case darshan.OpOpen:
+		s.clientS += s.p.OpenLatency
+		s.demand.mdsOps++
+		f := s.file(op.File)
+		if f.firstTouch {
+			s.clientS += s.p.FileOverhead
+			f.firstTouch = false
+		}
+	case darshan.OpStat:
+		s.clientS += s.p.StatLatency
+		s.demand.mdsOps++
+	case darshan.OpSeek:
+		s.clientS += s.p.SeekSyscallOverhead
+	case darshan.OpWrite:
+		s.write(op)
+	case darshan.OpRead:
+		s.read(op)
+	case darshan.OpFsync:
+		s.clientS += s.p.SyscallOverhead
+		s.flush(s.file(op.File), true)
+	case darshan.OpClose:
+		s.clientS += s.p.SyscallOverhead
+		s.flush(s.file(op.File), false)
+	case darshan.OpExchange:
+		// Two-phase collective exchange: synchronization latency plus the
+		// rank's contribution moving through memory twice (pack + send).
+		s.clientS += s.p.CollectiveLatency + 2*float64(op.Size)/s.p.MemBandwidth
+	}
+}
+
+// write stages data in the client write-back cache.
+func (s *ProcSim) write(op darshan.Op) {
+	if op.Size <= 0 {
+		s.clientS += s.p.SyscallOverhead
+		return
+	}
+	f := s.file(op.File)
+	s.clientS += s.p.SyscallOverhead + s.memcpyCost(op)
+	insertExtent(&f.dirty, extent{op.Offset, op.Offset + op.Size})
+	f.lastEnd = op.Offset + op.Size
+	f.touched = true
+	// Bound cache memory: a real client flushes under dirty pressure.
+	if len(f.dirty) > 8192 {
+		s.flush(f, false)
+	}
+}
+
+// memcpyCost is the client copy cost, inflated for unaligned user buffers.
+func (s *ProcSim) memcpyCost(op darshan.Op) float64 {
+	c := float64(op.Size) / s.p.MemBandwidth
+	if op.MemUnaligned {
+		c *= s.p.MemUnalignedPenalty
+	}
+	return c
+}
+
+// flush sends all dirty extents of f to the servers. sync marks an
+// fsync-forced flush: the client waits for the commit and the server charges
+// commit IOPS instead of buffered-write IOPS.
+func (s *ProcSim) flush(f *simFile, sync bool) {
+	if len(f.dirty) == 0 {
+		return
+	}
+	for _, e := range f.dirty {
+		for off := e.off; off < e.end; {
+			// Chunk at RPC-granularity boundaries so a large extent maps to
+			// ceil(len/chunk) RPCs and stripe size bounds the RPC size.
+			next := (off/s.rpcChunk + 1) * s.rpcChunk
+			if next > e.end {
+				next = e.end
+			}
+			n := next - off
+			ost := s.ostOf(f, off)
+			ost.bytes += float64(n)
+			if sync {
+				ost.commitRPCs++
+				s.clientS += s.p.RPCLatency
+			} else {
+				ost.bufferedRPCs++
+			}
+			if off != f.lastServerOff {
+				ost.seeks++
+			}
+			// Partial-chunk writes off the alignment boundary trigger
+			// read-modify-write on the server.
+			if (off%s.p.FileAlign != 0 || next%s.p.FileAlign != 0) && n < s.p.FileAlign {
+				ost.readRPCs += s.p.RMWFactor
+			}
+			f.lastServerOff = next
+			off = next
+		}
+	}
+	f.dirty = f.dirty[:0]
+}
+
+// read serves a read either from the read-ahead window or from the servers.
+func (s *ProcSim) read(op darshan.Op) {
+	if op.Size <= 0 {
+		s.clientS += s.p.SyscallOverhead
+		return
+	}
+	f := s.file(op.File)
+	s.clientS += s.p.SyscallOverhead + s.memcpyCost(op)
+
+	end := op.Offset + op.Size
+	// Read-ahead only engages for (nearly) consecutive forward access, like
+	// the kernel's sequential-pattern detector; larger forward strides fall
+	// through to direct reads, so strided patterns defeat prefetching.
+	sequential := !f.touched || (op.Offset >= f.lastEnd && op.Offset-f.lastEnd <= 4*KiB)
+	inWindow := op.Offset >= f.raStart && end <= f.raEnd
+
+	switch {
+	case inWindow:
+		// Client cache hit; no server involvement.
+	case sequential:
+		// Forward-sequential (or small forward stride inside one window):
+		// extend the read-ahead window far enough to cover the access.
+		start := f.raEnd
+		if start < op.Offset {
+			start = op.Offset
+		}
+		win := s.p.ReadAheadWindow
+		fetchEnd := ((end-start)/win + 1) * win
+		fetch := fetchEnd // bytes fetched ahead
+		// Spread the prefetch across the stripes it covers.
+		for off := start; off < start+fetch; off += s.rpcChunk {
+			n := s.rpcChunk
+			if off+n > start+fetch {
+				n = start + fetch - off
+			}
+			ost := s.ostOf(f, off)
+			ost.bytes += float64(n)
+			ost.readRPCs++
+		}
+		if start != f.lastServerOff {
+			s.ostOf(f, start).seeks++
+		}
+		s.clientS += s.p.RPCLatency // first window arrival is synchronous
+		f.raStart = start
+		f.raEnd = start + fetch
+		f.lastServerOff = f.raEnd
+	default:
+		// Random or backward access: direct synchronous read RPC(s),
+		// read-ahead is defeated.
+		for off := op.Offset; off < end; off += s.rpcChunk {
+			n := s.rpcChunk
+			if off+n > end {
+				n = end - off
+			}
+			ost := s.ostOf(f, off)
+			ost.bytes += float64(n)
+			ost.readRPCs++
+		}
+		first := s.ostOf(f, op.Offset)
+		first.seeks++
+		if op.Offset%s.p.FileAlign != 0 {
+			first.readRPCs += s.p.UnalignedReadFactor
+		}
+		s.clientS += s.p.RPCLatency
+		f.raStart, f.raEnd = 0, 0
+		f.lastServerOff = end
+	}
+	f.lastEnd = end
+	f.touched = true
+}
+
+// Finish flushes remaining dirty data (process exit closes files) and
+// returns the client-serial seconds and the aggregate server demand.
+func (s *ProcSim) Finish() (clientSeconds float64, demand serverDemand) {
+	for _, f := range s.files {
+		s.flush(f, false)
+	}
+	return s.clientS, s.demand
+}
+
+// insertExtent merges e into the sorted disjoint extent list.
+func insertExtent(list *[]extent, e extent) {
+	l := *list
+	// Fast path: append-after-last (sequential writes).
+	if n := len(l); n > 0 && e.off >= l[n-1].off {
+		if e.off <= l[n-1].end {
+			if e.end > l[n-1].end {
+				l[n-1].end = e.end
+			}
+			return
+		}
+		*list = append(l, e)
+		return
+	}
+	i := sort.Search(len(l), func(i int) bool { return l[i].end >= e.off })
+	j := sort.Search(len(l), func(j int) bool { return l[j].off > e.end })
+	if i == j {
+		// No overlap: insert at i.
+		l = append(l, extent{})
+		copy(l[i+1:], l[i:])
+		l[i] = e
+		*list = l
+		return
+	}
+	// Merge overlapping range [i, j).
+	if l[i].off < e.off {
+		e.off = l[i].off
+	}
+	if l[j-1].end > e.end {
+		e.end = l[j-1].end
+	}
+	l[i] = e
+	l = append(l[:i+1], l[j:]...)
+	*list = l
+}

@@ -1,0 +1,428 @@
+package iosim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+)
+
+func quietParams() Params {
+	p := DefaultParams()
+	p.NoiseSigma = 0
+	return p
+}
+
+// seqWriteJob writes n transfers of size sz sequentially from each of nprocs
+// processes, optionally fsyncing after each write.
+func seqWriteJob(nprocs, n int, sz int64, fsync bool) Job {
+	return Job{
+		Name: "w", NProcs: nprocs, FS: DefaultFS(), Seed: 1,
+		Gen: func(rank int, emit func(darshan.Op)) {
+			base := int64(rank) * int64(n) * sz
+			emit(darshan.Op{Kind: darshan.OpOpen})
+			for i := 0; i < n; i++ {
+				emit(darshan.Op{Kind: darshan.OpWrite, Offset: base + int64(i)*sz, Size: sz})
+				if fsync {
+					emit(darshan.Op{Kind: darshan.OpFsync})
+				}
+			}
+			emit(darshan.Op{Kind: darshan.OpClose})
+		},
+	}
+}
+
+func seqReadJob(nprocs, n int, sz int64, seekPerRead bool) Job {
+	return Job{
+		Name: "r", NProcs: nprocs, FS: DefaultFS(), Seed: 1,
+		Gen: func(rank int, emit func(darshan.Op)) {
+			base := int64(rank) * int64(n) * sz
+			emit(darshan.Op{Kind: darshan.OpOpen})
+			for i := 0; i < n; i++ {
+				off := base + int64(i)*sz
+				if seekPerRead || i == 0 {
+					emit(darshan.Op{Kind: darshan.OpSeek, Offset: off})
+				}
+				emit(darshan.Op{Kind: darshan.OpRead, Offset: off, Size: sz})
+			}
+			emit(darshan.Op{Kind: darshan.OpClose})
+		},
+	}
+}
+
+func randReadJob(nprocs, n int, sz int64) Job {
+	return Job{
+		Name: "rr", NProcs: nprocs, FS: DefaultFS(), Seed: 1,
+		Gen: func(rank int, emit func(darshan.Op)) {
+			rng := rand.New(rand.NewSource(int64(rank) + 7))
+			emit(darshan.Op{Kind: darshan.OpOpen})
+			region := int64(n) * sz
+			base := int64(rank) * region
+			for i := 0; i < n; i++ {
+				off := base + rng.Int63n(region-sz+1)
+				emit(darshan.Op{Kind: darshan.OpSeek, Offset: off})
+				emit(darshan.Op{Kind: darshan.OpRead, Offset: off, Size: sz})
+			}
+			emit(darshan.Op{Kind: darshan.OpClose})
+		},
+	}
+}
+
+func TestRunBasicAccounting(t *testing.T) {
+	rec, res := Run(seqWriteJob(4, 16, 1*MiB, false), quietParams())
+	if rec.Counter(darshan.PosixWrites) != 64 {
+		t.Errorf("POSIX_WRITES = %v", rec.Counter(darshan.PosixWrites))
+	}
+	if res.TotalBytes != 64*MiB {
+		t.Errorf("TotalBytes = %v", res.TotalBytes)
+	}
+	if res.SlowestSeconds <= 0 || res.PerfMiBps <= 0 {
+		t.Fatalf("non-positive timing: %+v", res)
+	}
+	if rec.PerfMiBps != res.PerfMiBps {
+		t.Errorf("record perf %v != result perf %v", rec.PerfMiBps, res.PerfMiBps)
+	}
+	max := 0.0
+	for _, s := range res.PerProcSeconds {
+		if s > max {
+			max = s
+		}
+	}
+	if max != res.SlowestSeconds {
+		t.Errorf("SlowestSeconds %v != max per-proc %v", res.SlowestSeconds, max)
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestSmallSyncWritesAreRequestBound(t *testing.T) {
+	// Pattern 1 (Fig. 7): 1 KiB fsync'd writes vs 1 MiB fsync'd writes,
+	// equal total bytes. The paper reports 104x; we require >= 20x.
+	p := quietParams()
+	_, small := Run(seqWriteJob(16, 1024, 1*KiB, true), p)
+	_, large := Run(seqWriteJob(16, 1, 1*MiB, true), p)
+	ratio := large.PerfMiBps / small.PerfMiBps
+	if ratio < 20 {
+		t.Errorf("large/small sync write perf ratio = %.1f, want >= 20 (small=%.2f large=%.2f MiB/s)",
+			ratio, small.PerfMiBps, large.PerfMiBps)
+	}
+}
+
+func TestBufferedSmallWritesCoalesce(t *testing.T) {
+	// Without fsync, contiguous small writes coalesce in the write-back
+	// cache and should be far faster than the fsync'd version.
+	p := quietParams()
+	_, sync := Run(seqWriteJob(16, 1024, 1*KiB, true), p)
+	_, buffered := Run(seqWriteJob(16, 1024, 1*KiB, false), p)
+	if buffered.PerfMiBps < 5*sync.PerfMiBps {
+		t.Errorf("buffered %.2f MiB/s not >> sync %.2f MiB/s", buffered.PerfMiBps, sync.PerfMiBps)
+	}
+}
+
+func TestSequentialReadBeatsRandomRead(t *testing.T) {
+	p := quietParams()
+	_, seq := Run(seqReadJob(16, 1024, 1*KiB, true), p)
+	_, rnd := Run(randReadJob(16, 1024, 1*KiB), p)
+	if seq.PerfMiBps < 2*rnd.PerfMiBps {
+		t.Errorf("seq read %.2f MiB/s not >= 2x random read %.2f MiB/s",
+			seq.PerfMiBps, rnd.PerfMiBps)
+	}
+}
+
+func TestSeekSyscallOverheadVisible(t *testing.T) {
+	// Pattern 2 (Fig. 8): removing the per-read lseek must improve
+	// performance measurably (paper: 1.56x). Require >= 1.1x.
+	p := quietParams()
+	_, withSeeks := Run(seqReadJob(64, 1024, 1*KiB, true), p)
+	_, noSeeks := Run(seqReadJob(64, 1024, 1*KiB, false), p)
+	if noSeeks.PerfMiBps < 1.1*withSeeks.PerfMiBps {
+		t.Errorf("seek removal speedup = %.2fx, want >= 1.1x (with=%.1f without=%.1f)",
+			noSeeks.PerfMiBps/withSeeks.PerfMiBps, withSeeks.PerfMiBps, noSeeks.PerfMiBps)
+	}
+}
+
+func TestOpensAreExpensive(t *testing.T) {
+	manyFiles := Job{
+		Name: "many", NProcs: 4, FS: DefaultFS(), Seed: 1,
+		Gen: func(rank int, emit func(darshan.Op)) {
+			for f := int32(0); f < 64; f++ {
+				emit(darshan.Op{Kind: darshan.OpOpen, File: f})
+				emit(darshan.Op{Kind: darshan.OpRead, File: f, Offset: 0, Size: 64 * KiB})
+				emit(darshan.Op{Kind: darshan.OpClose, File: f})
+			}
+		},
+	}
+	oneFile := Job{
+		Name: "one", NProcs: 4, FS: DefaultFS(), Seed: 1,
+		Gen: func(rank int, emit func(darshan.Op)) {
+			emit(darshan.Op{Kind: darshan.OpOpen})
+			for i := int64(0); i < 64; i++ {
+				emit(darshan.Op{Kind: darshan.OpRead, Offset: i * 64 * KiB, Size: 64 * KiB})
+			}
+			emit(darshan.Op{Kind: darshan.OpClose})
+		},
+	}
+	p := quietParams()
+	_, many := Run(manyFiles, p)
+	_, one := Run(oneFile, p)
+	if one.PerfMiBps < 1.2*many.PerfMiBps {
+		t.Errorf("single-file %.1f MiB/s not >= 1.2x many-file %.1f MiB/s",
+			one.PerfMiBps, many.PerfMiBps)
+	}
+}
+
+func TestStripeWidthScalesBandwidth(t *testing.T) {
+	job := seqWriteJob(32, 16, 1*MiB, false)
+	p := quietParams()
+	_, narrow := Run(job, p)
+	job.FS.StripeWidth = 8
+	_, wide := Run(job, p)
+	if wide.PerfMiBps < 1.5*narrow.PerfMiBps {
+		t.Errorf("width-8 %.1f MiB/s not >= 1.5x width-1 %.1f MiB/s",
+			wide.PerfMiBps, narrow.PerfMiBps)
+	}
+}
+
+func TestLargerStripeReducesRPCLoad(t *testing.T) {
+	// Fig. 14 mechanism: 4 MiB writes against 1 MiB stripes need 4 RPCs
+	// each; with 4 MiB stripes, one. Perf must improve.
+	mk := func(stripe int64) Job {
+		j := seqWriteJob(64, 64, 4*MiB, false)
+		j.FS = FSConfig{StripeSize: stripe, StripeWidth: 1}
+		return j
+	}
+	p := quietParams()
+	_, s1 := Run(mk(1*MiB), p)
+	_, s4 := Run(mk(4*MiB), p)
+	if s4.PerfMiBps <= s1.PerfMiBps {
+		t.Errorf("stripe 4M %.1f MiB/s not > stripe 1M %.1f MiB/s", s4.PerfMiBps, s1.PerfMiBps)
+	}
+}
+
+func TestUnalignedWritesPayRMW(t *testing.T) {
+	mk := func(shift int64) Job {
+		return Job{
+			Name: "u", NProcs: 8, FS: DefaultFS(), Seed: 1,
+			Gen: func(rank int, emit func(darshan.Op)) {
+				base := int64(rank)*64*MiB + shift
+				emit(darshan.Op{Kind: darshan.OpOpen})
+				for i := int64(0); i < 256; i++ {
+					emit(darshan.Op{Kind: darshan.OpWrite, Offset: base + i*4*MiB, Size: 1 * KiB})
+					emit(darshan.Op{Kind: darshan.OpFsync})
+				}
+				emit(darshan.Op{Kind: darshan.OpClose})
+			},
+		}
+	}
+	p := quietParams()
+	_, aligned := Run(mk(0), p)
+	_, unaligned := Run(mk(777), p)
+	if unaligned.SlowestSeconds <= aligned.SlowestSeconds {
+		t.Errorf("unaligned writes not slower: %.4fs vs %.4fs",
+			unaligned.SlowestSeconds, aligned.SlowestSeconds)
+	}
+}
+
+func TestMoreBytesNeverFaster(t *testing.T) {
+	p := quietParams()
+	prev := 0.0
+	for _, n := range []int{8, 16, 32, 64} {
+		_, res := Run(seqWriteJob(4, n, 1*MiB, false), p)
+		if res.SlowestSeconds < prev {
+			t.Errorf("elapsed decreased when writing more: n=%d %.6fs < %.6fs", n, res.SlowestSeconds, prev)
+		}
+		prev = res.SlowestSeconds
+	}
+}
+
+func TestNoiseIsSeededAndBounded(t *testing.T) {
+	p := DefaultParams() // noise on
+	job := seqWriteJob(4, 8, 1*MiB, false)
+	_, a := Run(job, p)
+	_, b := Run(job, p)
+	if a.PerfMiBps != b.PerfMiBps {
+		t.Error("same seed produced different performance")
+	}
+	job.Seed = 2
+	_, c := Run(job, p)
+	if a.PerfMiBps == c.PerfMiBps {
+		t.Error("different seeds produced identical performance (noise inactive?)")
+	}
+}
+
+func TestZeroAndNegativeSizeOpsAreSafe(t *testing.T) {
+	job := Job{
+		Name: "edge", NProcs: 1, FS: DefaultFS(), Seed: 1,
+		Gen: func(rank int, emit func(darshan.Op)) {
+			emit(darshan.Op{Kind: darshan.OpWrite, Offset: 0, Size: 0})
+			emit(darshan.Op{Kind: darshan.OpRead, Offset: 0, Size: -5})
+			emit(darshan.Op{Kind: darshan.OpFsync})
+		},
+	}
+	_, res := Run(job, quietParams())
+	if res.SlowestSeconds <= 0 {
+		t.Errorf("elapsed = %v", res.SlowestSeconds)
+	}
+}
+
+func TestInsertExtentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var list []extent
+		covered := make(map[int64]bool)
+		for i := 0; i < 200; i++ {
+			off := int64(rng.Intn(500))
+			ln := int64(1 + rng.Intn(40))
+			insertExtent(&list, extent{off, off + ln})
+			for b := off; b < off+ln; b++ {
+				covered[b] = true
+			}
+		}
+		// Sorted, disjoint, non-adjacent overlap-free.
+		if !sort.SliceIsSorted(list, func(i, j int) bool { return list[i].off < list[j].off }) {
+			return false
+		}
+		total := int64(0)
+		for i, e := range list {
+			if e.end <= e.off {
+				return false
+			}
+			if i > 0 && e.off < list[i-1].end {
+				return false
+			}
+			total += e.end - e.off
+		}
+		// Union coverage must match exactly.
+		if total != int64(len(covered)) {
+			return false
+		}
+		for b := range covered {
+			i := sort.Search(len(list), func(i int) bool { return list[i].end > b })
+			if i >= len(list) || b < list[i].off {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFSConfigNormalization(t *testing.T) {
+	fs := FSConfig{}.normalized()
+	if fs.StripeSize != 1*MiB || fs.StripeWidth != 1 {
+		t.Errorf("normalized zero config = %+v", fs)
+	}
+	p := DefaultParams()
+	if got := (FSConfig{StripeSize: 64 * MiB, StripeWidth: 1}).rpcChunk(&p); got != p.MaxRPCSize {
+		t.Errorf("rpcChunk with huge stripe = %d, want MaxRPCSize", got)
+	}
+	if got := (FSConfig{StripeSize: 1, StripeWidth: 1}).rpcChunk(&p); got != 4*KiB {
+		t.Errorf("rpcChunk floor = %d, want 4KiB", got)
+	}
+}
+
+func BenchmarkRunSeqWrite(b *testing.B) {
+	p := quietParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Run(seqWriteJob(8, 128, 1*MiB, false), p)
+	}
+}
+
+func TestStripingBalancesHotspots(t *testing.T) {
+	// Two jobs moving the same bytes over width-4 stripes: one hammers a
+	// single 1 MiB region (one OST), the other spreads across the file.
+	// The spread job must finish faster (straggler-OST model).
+	fs := FSConfig{StripeSize: 1 * MiB, StripeWidth: 4}
+	mk := func(spread bool) Job {
+		return Job{
+			Name: "hotspot", NProcs: 8, FS: fs, Seed: 1,
+			Gen: func(rank int, emit func(darshan.Op)) {
+				for i := int64(0); i < 128; i++ {
+					// Spread: consecutive 1 MiB stripes round-robin over
+					// the 4 OSTs; hot: every offset is a multiple of
+					// 4 MiB, i.e. always stripe index ≡ 0.
+					off := (int64(rank)*128 + i) * 4 * MiB
+					if spread {
+						off = (int64(rank)*128 + i) * MiB
+					}
+					emit(darshan.Op{Kind: darshan.OpSeek, Offset: off})
+					emit(darshan.Op{Kind: darshan.OpRead, Offset: off, Size: 64 * KiB})
+				}
+			},
+		}
+	}
+	p := quietParams()
+	_, hot := Run(mk(false), p)
+	_, spread := Run(mk(true), p)
+	if spread.ServerSeconds >= hot.ServerSeconds {
+		t.Errorf("spread server time %.5fs not below single-OST hotspot %.5fs",
+			spread.ServerSeconds, hot.ServerSeconds)
+	}
+	if spread.PerfMiBps <= hot.PerfMiBps {
+		t.Errorf("spread %.1f MiB/s not faster than hotspot %.1f MiB/s",
+			spread.PerfMiBps, hot.PerfMiBps)
+	}
+}
+
+func TestFilePerProcessSpreadsAcrossOSTs(t *testing.T) {
+	// With per-file OST rotation, N single-stripe files land on different
+	// OSTs, so file-per-process scales better than everything on OST 0.
+	fs := FSConfig{StripeSize: 1 * MiB, StripeWidth: 8}
+	job := Job{
+		Name: "fpp", NProcs: 8, FS: fs, Seed: 1,
+		Gen: func(rank int, emit func(darshan.Op)) {
+			f := int32(rank)
+			emit(darshan.Op{Kind: darshan.OpOpen, File: f})
+			for i := int64(0); i < 64; i++ {
+				emit(darshan.Op{Kind: darshan.OpWrite, File: f, Offset: i * 16 * KiB, Size: 16 * KiB})
+			}
+			emit(darshan.Op{Kind: darshan.OpClose, File: f})
+		},
+	}
+	narrow := job
+	narrow.FS = FSConfig{StripeSize: 1 * MiB, StripeWidth: 1}
+	p := quietParams()
+	_, wide := Run(job, p)
+	_, one := Run(narrow, p)
+	if wide.ServerSeconds > one.ServerSeconds {
+		t.Errorf("8 rotated files on 8 OSTs (%.5fs server) slower than on 1 OST (%.5fs)",
+			wide.ServerSeconds, one.ServerSeconds)
+	}
+}
+
+func TestOpExchangeChargesClientTimeOnly(t *testing.T) {
+	// OpExchange (middleware collective exchange) must cost client time but
+	// never move a POSIX counter or touch the servers.
+	base := Job{
+		Name: "x", NProcs: 4, FS: DefaultFS(), Seed: 1,
+		Gen: func(rank int, emit func(darshan.Op)) {
+			emit(darshan.Op{Kind: darshan.OpWrite, Offset: 0, Size: 1 * MiB})
+		},
+	}
+	withExchange := base
+	withExchange.Gen = func(rank int, emit func(darshan.Op)) {
+		emit(darshan.Op{Kind: darshan.OpWrite, Offset: 0, Size: 1 * MiB})
+		for i := 0; i < 100; i++ {
+			emit(darshan.Op{Kind: darshan.OpExchange, Size: 1 * MiB})
+		}
+	}
+	p := quietParams()
+	recA, resA := Run(base, p)
+	recB, resB := Run(withExchange, p)
+	if recA.Counters != recB.Counters {
+		t.Error("OpExchange changed the POSIX counters")
+	}
+	if resB.SlowestSeconds <= resA.SlowestSeconds {
+		t.Errorf("exchange did not cost time: %.6f vs %.6f",
+			resB.SlowestSeconds, resA.SlowestSeconds)
+	}
+	if resB.ServerSeconds != resA.ServerSeconds {
+		t.Error("OpExchange touched the servers")
+	}
+}

@@ -1,0 +1,167 @@
+// Package iosim is a parametric cost model of a parallel file system in the
+// style of the Lustre scratch system on Cori, which the paper's evaluation
+// uses. It is the substitute substrate for the real machine: workloads are
+// streams of POSIX operations (internal/darshan.Op) executed by N processes,
+// and the simulator computes the elapsed I/O time of each process so that the
+// paper's performance tag (Eq. 1: total bytes / time of the slowest process)
+// can be derived.
+//
+// The model deliberately encodes the mechanisms the paper's diagnosis
+// flags, so that counter → performance relationships exist for the AI models
+// to learn:
+//
+//   - per-request overhead: small transfers are request-bound, not
+//     bandwidth-bound (POSIX_SIZE_*_0_100/100_1K bottlenecks, Figs. 7, 9, 11);
+//   - synchronous commits: fsync-per-write turns every small write into a
+//     server commit (IOR -Y);
+//   - client write-back cache: buffered contiguous small writes coalesce
+//     into large RPCs, so small writes are only catastrophic when synced or
+//     non-mergeable (E2E, Fig. 13);
+//   - read-ahead: forward-sequential reads are served from a prefetch
+//     window; strided and random reads pay per-request server costs and
+//     defeat read-ahead (Figs. 10, 12);
+//   - seek syscall overhead: lseek costs client time even when the target
+//     equals the current position (IOR's seek-per-read, Fig. 8);
+//   - alignment: writes not aligned to the file/stripe boundary trigger
+//     server read-modify-write (POSIX_FILE_NOT_ALIGNED, Fig. 11);
+//   - metadata: opens and stats are MDS operations with limited throughput
+//     (POSIX_OPENS bottleneck, DASSA, Fig. 15);
+//   - striping: aggregate bandwidth and request capacity scale with
+//     LUSTRE_STRIPE_WIDTH, and the RPC size is bounded by the stripe size
+//     (OpenPMD stripe tuning, Fig. 14).
+package iosim
+
+// Params holds the cost-model constants. The defaults are calibrated so the
+// six IOR patterns of Section 4.1 reproduce the paper's qualitative results
+// (ordering and rough improvement factors).
+type Params struct {
+	// OSTBandwidth is the streaming bandwidth of one OST in bytes/second.
+	OSTBandwidth float64
+	// OSTCommitIOPS is how many synchronous small-write commits one OST can
+	// retire per second (fsync-forced flushes).
+	OSTCommitIOPS float64
+	// OSTWriteIOPS is how many buffered write RPCs one OST absorbs per second.
+	OSTWriteIOPS float64
+	// OSTReadIOPS is how many read RPCs one OST serves per second.
+	OSTReadIOPS float64
+	// OSTSeekPenalty is the extra server seconds for a discontiguous RPC.
+	OSTSeekPenalty float64
+	// RPCLatency is the client-visible round-trip latency of one synchronous
+	// RPC, in seconds.
+	RPCLatency float64
+	// SyscallOverhead is the client cost of any POSIX call, in seconds.
+	SyscallOverhead float64
+	// SeekSyscallOverhead is the client cost of one lseek, including Lustre
+	// client lock checks; IOR's seek-before-every-read makes this visible.
+	SeekSyscallOverhead float64
+	// OpenLatency and StatLatency are client-visible MDS round trips.
+	OpenLatency float64
+	StatLatency float64
+	// MDSOpsPerSec is the metadata server capacity shared by all processes.
+	MDSOpsPerSec float64
+	// FileOverhead is the per-process, per-file first-touch cost (layout
+	// fetch, lock acquisition).
+	FileOverhead float64
+	// MemBandwidth is the client memcpy bandwidth (cache hits), bytes/second.
+	MemBandwidth float64
+	// ReadAheadWindow is the prefetch window for sequential reads, bytes.
+	ReadAheadWindow int64
+	// MaxRPCSize caps the size of one RPC chunk, bytes. The effective chunk
+	// is min(MaxRPCSize, stripe size).
+	MaxRPCSize int64
+	// RMWFactor is the extra read-RPC equivalents charged for a write RPC
+	// that is not aligned to the file alignment boundary.
+	RMWFactor float64
+	// UnalignedReadFactor is the extra read-RPC fraction for unaligned reads.
+	UnalignedReadFactor float64
+	// MemUnalignedPenalty is the client-side multiplier on memcpy cost for
+	// accesses from unaligned user buffers.
+	MemUnalignedPenalty float64
+	// CollectiveLatency is the per-rank synchronization cost of one
+	// middleware collective (darshan.OpExchange): the barrier plus exchange
+	// setup of two-phase I/O. The exchanged bytes additionally move at
+	// MemBandwidth (send + receive).
+	CollectiveLatency float64
+	// NoiseSigma is the standard deviation of the multiplicative log-normal
+	// run-to-run noise applied to elapsed times (system interference).
+	// Zero disables noise.
+	NoiseSigma float64
+	// MemAlign and FileAlign are the alignment boundaries reported as
+	// POSIX_MEM_ALIGNMENT and POSIX_FILE_ALIGNMENT. FileAlign <= 0 derives
+	// the boundary from the file's stripe size, which is what Darshan
+	// reports on Lustre.
+	MemAlign  int64
+	FileAlign int64
+}
+
+// DefaultParams returns the calibrated Cori-Lustre-like constants used by
+// the experiments.
+func DefaultParams() Params {
+	return Params{
+		OSTBandwidth:        512 * MiB,
+		OSTCommitIOPS:       5000,
+		OSTWriteIOPS:        40000,
+		OSTReadIOPS:         200000,
+		OSTSeekPenalty:      8e-6,
+		RPCLatency:          300e-6,
+		SyscallOverhead:     2e-6,
+		SeekSyscallOverhead: 300e-6,
+		OpenLatency:         1.2e-3,
+		StatLatency:         0.4e-3,
+		MDSOpsPerSec:        3000,
+		FileOverhead:        6e-3,
+		MemBandwidth:        8 * GiB,
+		ReadAheadWindow:     1 * MiB,
+		MaxRPCSize:          4 * MiB,
+		RMWFactor:           1.0,
+		UnalignedReadFactor: 0.3,
+		MemUnalignedPenalty: 1.25,
+		CollectiveLatency:   200e-6,
+		NoiseSigma:          0.06,
+		MemAlign:            8,
+		FileAlign:           0, // stripe-derived
+	}
+}
+
+// Byte-size units.
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+	GiB = 1 << 30
+)
+
+// FSConfig is the Lustre layout of the files a job accesses. The paper's
+// tests use the Cori defaults (1 OST, 1 MiB stripe) unless tuned.
+type FSConfig struct {
+	// StripeSize is LUSTRE_STRIPE_SIZE in bytes.
+	StripeSize int64
+	// StripeWidth is LUSTRE_STRIPE_WIDTH: the number of OSTs.
+	StripeWidth int
+}
+
+// DefaultFS returns the Cori default layout: 1 OST, 1 MiB stripes.
+func DefaultFS() FSConfig {
+	return FSConfig{StripeSize: 1 * MiB, StripeWidth: 1}
+}
+
+func (fs FSConfig) normalized() FSConfig {
+	if fs.StripeSize <= 0 {
+		fs.StripeSize = 1 * MiB
+	}
+	if fs.StripeWidth <= 0 {
+		fs.StripeWidth = 1
+	}
+	return fs
+}
+
+// rpcChunk is the effective RPC granularity for this layout.
+func (fs FSConfig) rpcChunk(p *Params) int64 {
+	chunk := fs.StripeSize
+	if chunk > p.MaxRPCSize {
+		chunk = p.MaxRPCSize
+	}
+	if chunk < 4*KiB {
+		chunk = 4 * KiB
+	}
+	return chunk
+}

@@ -1,0 +1,129 @@
+package iosim
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+)
+
+// Job describes one application run: N processes, each emitting a POSIX
+// operation stream, against a file system layout. Gen is called once per
+// rank, possibly concurrently from multiple goroutines, and must emit that
+// rank's operations in program order.
+type Job struct {
+	Name   string
+	JobID  int64
+	Year   int
+	NProcs int
+	FS     FSConfig
+	// Seed drives the run-to-run noise (and may be used by Gen for
+	// randomized offsets).
+	Seed int64
+	Gen  func(rank int, emit func(darshan.Op))
+}
+
+// Result captures the simulated execution of a Job.
+type Result struct {
+	// PerProcSeconds is each rank's elapsed I/O time (client + server share).
+	PerProcSeconds []float64
+	// SlowestSeconds is the Eq. 1 denominator.
+	SlowestSeconds float64
+	// ServerSeconds is the aggregate server busy time.
+	ServerSeconds float64
+	// TotalBytes is the Eq. 1 numerator.
+	TotalBytes float64
+	// PerfMiBps is the Eq. 1 performance estimate in MiB/s.
+	PerfMiBps float64
+}
+
+// Run executes the job against the simulated file system and returns the
+// Darshan record (with the performance tag filled in per Eq. 1) along with
+// the detailed Result.
+func Run(job Job, params Params) (*darshan.Record, Result) {
+	fs := job.FS.normalized()
+	if params.FileAlign <= 0 {
+		params.FileAlign = fs.StripeSize
+	}
+	n := job.NProcs
+	if n <= 0 {
+		n = 1
+	}
+	coll := darshan.NewCollector(n, params.MemAlign, params.FileAlign)
+
+	clientSeconds := make([]float64, n)
+	demands := make([]serverDemand, n)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	ranks := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rank := range ranks {
+				pc := coll.Proc(rank)
+				sim := NewProcSim(&params, fs)
+				job.Gen(rank, func(op darshan.Op) {
+					pc.Observe(op)
+					sim.Observe(op)
+				})
+				clientSeconds[rank], demands[rank] = sim.Finish()
+			}
+		}()
+	}
+	for rank := 0; rank < n; rank++ {
+		ranks <- rank
+	}
+	close(ranks)
+	wg.Wait()
+
+	var total serverDemand
+	for i := range demands {
+		total.add(demands[i])
+	}
+	server := serverSeconds(total, &params, fs)
+
+	// Run-to-run noise: multiplicative log-normal interference, reproducible
+	// from the job seed.
+	noise := 1.0
+	if params.NoiseSigma > 0 {
+		rng := rand.New(rand.NewSource(job.Seed ^ 0x5eed5eed))
+		noise = math.Exp(rng.NormFloat64() * params.NoiseSigma)
+	}
+
+	res := Result{
+		PerProcSeconds: make([]float64, n),
+		ServerSeconds:  server,
+	}
+	for rank := 0; rank < n; rank++ {
+		// Each process experiences its own serial client time plus the
+		// shared server busy time (the storage system is the shared
+		// resource every rank waits on).
+		t := (clientSeconds[rank] + server) * noise
+		if t <= 0 {
+			t = 1e-9
+		}
+		res.PerProcSeconds[rank] = t
+		if t > res.SlowestSeconds {
+			res.SlowestSeconds = t
+		}
+	}
+
+	rec := coll.Finalize(fs.StripeSize, fs.StripeWidth)
+	rec.JobID = job.JobID
+	rec.App = job.Name
+	rec.Year = job.Year
+	res.TotalBytes = rec.TotalBytes()
+	if res.SlowestSeconds > 0 {
+		res.PerfMiBps = res.TotalBytes / res.SlowestSeconds / MiB
+	}
+	rec.PerfMiBps = res.PerfMiBps
+	rec.SlowestSeconds = res.SlowestSeconds
+	return rec, res
+}

@@ -1,0 +1,255 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if m.Rows != 2 || m.Cols != 3 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v", m.At(1, 2))
+	}
+	m.Set(0, 0, 9)
+	if m.Data[0] != 9 {
+		t.Error("Set failed")
+	}
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 6 {
+		t.Errorf("transpose wrong: %+v", tr)
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) == -1 {
+		t.Error("Clone is not deep")
+	}
+}
+
+func TestMulMatchesManual(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	b := FromRows([][]float64{{7, 8, 9}, {10, 11, 12}})
+	got := Mul(a, b)
+	want := FromRows([][]float64{{27, 30, 33}, {61, 68, 75}, {95, 106, 117}})
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("Mul mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMulParallelConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(200, 64)
+	b := NewMatrix(64, 80)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	got := Mul(a, b)
+	// Serial reference.
+	want := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.At(i, k)
+			for j := 0; j < b.Cols; j++ {
+				want.Data[i*want.Cols+j] += av * b.At(k, j)
+			}
+		}
+	}
+	for i := range want.Data {
+		if !almostEq(got.Data[i], want.Data[i], 1e-9) {
+			t.Fatalf("parallel Mul diverges at %d", i)
+		}
+	}
+}
+
+func TestMulVecAndDot(t *testing.T) {
+	m := FromRows([][]float64{{1, 0, 2}, {0, 3, 0}})
+	got := MulVec(m, []float64{1, 2, 3})
+	if got[0] != 7 || got[1] != 6 {
+		t.Errorf("MulVec = %v", got)
+	}
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Error("Dot wrong")
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	y := []float64{1, 1}
+	Axpy(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Errorf("Axpy = %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 3.5 {
+		t.Errorf("Scale = %v", y)
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Error("Norm2 wrong")
+	}
+	if Mean(nil) != 0 || Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestPanicsOnShapeMismatch(t *testing.T) {
+	check := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	check("Mul", func() { Mul(NewMatrix(2, 3), NewMatrix(2, 3)) })
+	check("MulVec", func() { MulVec(NewMatrix(2, 3), []float64{1}) })
+	check("Dot", func() { Dot([]float64{1}, []float64{1, 2}) })
+	check("FromRows", func() { FromRows([][]float64{{1}, {1, 2}}) })
+}
+
+// randomSPD builds A = BᵀB + I, which is symmetric positive definite.
+func randomSPD(n int, rng *rand.Rand) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := Mul(b.T(), b)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+1)
+	}
+	return a
+}
+
+func TestCholeskySolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		a := randomSPD(n, rng)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := MulVec(a, xTrue)
+		x, err := SolveSPD(a.Clone(), b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEq(x[i], xTrue[i], 1e-6*(1+math.Abs(xTrue[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, -1}})
+	if err := Cholesky(a); err == nil {
+		t.Error("Cholesky accepted an indefinite matrix")
+	}
+}
+
+func TestLUSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := 0; i < n; i++ { // diagonal dominance keeps it well-conditioned
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := MulVec(a, xTrue)
+		x, err := LUSolve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEq(x[i], xTrue[i], 1e-7*(1+math.Abs(xTrue[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLUSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := LUSolve(a, []float64{1, 2}); err == nil {
+		t.Error("LUSolve accepted a singular matrix")
+	}
+}
+
+func TestWeightedRidgeRecoversLine(t *testing.T) {
+	// y = 2x + 3 with exact data; ridge ~ 0 should recover slope/intercept.
+	x := FromRows([][]float64{{0}, {1}, {2}, {3}})
+	y := []float64{3, 5, 7, 9}
+	w := []float64{1, 1, 1, 1}
+	beta, err := WeightedRidge(x, y, w, 1e-10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(beta[0], 2, 1e-5) || !almostEq(beta[1], 3, 1e-5) {
+		t.Errorf("beta = %v, want [2 3]", beta)
+	}
+}
+
+func TestWeightedRidgeRespectsWeights(t *testing.T) {
+	// Two inconsistent points; all weight on the second.
+	x := FromRows([][]float64{{1}, {1}})
+	y := []float64{0, 10}
+	beta, err := WeightedRidge(x, y, []float64{1e-12, 1}, 1e-12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(beta[0], 10, 1e-4) {
+		t.Errorf("beta = %v, want ~10", beta)
+	}
+}
+
+func TestWeightedRidgeShrinks(t *testing.T) {
+	x := FromRows([][]float64{{1}, {2}, {3}})
+	y := []float64{1, 2, 3}
+	w := []float64{1, 1, 1}
+	small, _ := WeightedRidge(x, y, w, 1e-9, false)
+	big, _ := WeightedRidge(x, y, w, 100, false)
+	if math.Abs(big[0]) >= math.Abs(small[0]) {
+		t.Errorf("ridge did not shrink: λ=100 gives %v vs %v", big[0], small[0])
+	}
+}
+
+func BenchmarkMul256(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewMatrix(256, 256)
+	c := NewMatrix(256, 256)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+		c.Data[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Mul(a, c)
+	}
+}

@@ -1,0 +1,119 @@
+package logdb
+
+import (
+	"testing"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/features"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	cfg := GenConfig{Jobs: 200, Seed: 1}
+	ds := Generate(cfg)
+	if ds.Len() != 200 {
+		t.Fatalf("generated %d jobs, want 200", ds.Len())
+	}
+	for i, rec := range ds.Records {
+		if rec == nil {
+			t.Fatalf("record %d is nil", i)
+		}
+		if err := rec.Validate(); err != nil {
+			t.Fatalf("record %d (%s): %v", i, rec.App, err)
+		}
+		if rec.PerfMiBps <= 0 {
+			t.Errorf("record %d has non-positive performance %v", i, rec.PerfMiBps)
+		}
+		if rec.JobID != int64(i)+1 {
+			t.Errorf("record %d has JobID %d", i, rec.JobID)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenConfig{Jobs: 50, Seed: 42})
+	b := Generate(GenConfig{Jobs: 50, Seed: 42})
+	for i := range a.Records {
+		if *a.Records[i] != *b.Records[i] {
+			t.Fatalf("record %d differs across runs with same seed", i)
+		}
+	}
+	c := Generate(GenConfig{Jobs: 50, Seed: 43})
+	same := 0
+	for i := range a.Records {
+		if a.Records[i].PerfMiBps == c.Records[i].PerfMiBps {
+			same++
+		}
+	}
+	if same == len(a.Records) {
+		t.Error("different seeds produced identical databases")
+	}
+}
+
+func TestGenerateCoversYearsAndFamilies(t *testing.T) {
+	ds := Generate(GenConfig{Jobs: 400, Seed: 2})
+	years := ds.YearSummary()
+	for _, y := range []int{2019, 2020, 2021, 2022} {
+		if years[y] == 0 {
+			t.Errorf("no jobs in year %d", y)
+		}
+	}
+	apps := map[string]int{}
+	for _, rec := range ds.Records {
+		apps[rec.App]++
+	}
+	for _, name := range []string{"ior-synth", "e2e-write3d", "openpmd-h5bench", "dassa-xcorr", "metadata-synth"} {
+		if apps[name] == 0 {
+			t.Errorf("no jobs from family %s (got %v)", name, apps)
+		}
+	}
+}
+
+func TestGenerateSparsityIsRealistic(t *testing.T) {
+	// The paper reports 0.2379 average sparsity on Cori; the generated
+	// database must be sparse too (read-only and write-only jobs exist).
+	ds := Generate(GenConfig{Jobs: 300, Seed: 3})
+	s := ds.AverageSparsity()
+	if s < 0.05 || s > 0.6 {
+		t.Errorf("average sparsity = %.4f, want within (0.05, 0.6)", s)
+	}
+	readOnly, writeOnly := 0, 0
+	for _, rec := range ds.Records {
+		if rec.Counter(darshan.PosixWrites) == 0 && rec.Counter(darshan.PosixReads) > 0 {
+			readOnly++
+		}
+		if rec.Counter(darshan.PosixReads) == 0 && rec.Counter(darshan.PosixWrites) > 0 {
+			writeOnly++
+		}
+	}
+	if readOnly == 0 || writeOnly == 0 {
+		t.Errorf("expected both read-only and write-only jobs, got %d/%d", readOnly, writeOnly)
+	}
+}
+
+func TestGeneratePerformanceVariesWithCounters(t *testing.T) {
+	// The DB must contain learnable structure: performance spans orders of
+	// magnitude.
+	ds := Generate(GenConfig{Jobs: 300, Seed: 4})
+	f := features.Build(ds)
+	min, max := f.Y[0], f.Y[0]
+	for _, y := range f.Y {
+		if y < min {
+			min = y
+		}
+		if y > max {
+			max = y
+		}
+	}
+	if max-min < 1.5 {
+		t.Errorf("transformed performance range [%.2f, %.2f] too narrow", min, max)
+	}
+}
+
+func BenchmarkGenerate100(b *testing.B) {
+	cfg := GenConfig{Jobs: 100, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Generate(cfg)
+	}
+}

@@ -1,0 +1,365 @@
+// Package mpiio implements an MPI-IO-like middleware layer above the POSIX
+// operation stream: independent and collective file operations that lower to
+// POSIX ops (two-phase aggregation for collectives) while recording the
+// MPI-IO-level counters of Darshan's MPIIO module.
+//
+// The paper's Section 1 limitation says AIIO "only considers POSIX-IO
+// counters" and that "one may use I/O counters from MPI-IO and HDF5 in AI
+// models; however, we did not attempt that". This package supplies the
+// missing substrate: applications written against it produce both the POSIX
+// record (through the usual collector/simulator pipeline) and the MPIIO
+// counter vector, and the extended-features experiment measures what the
+// upper-layer counters add. HDF5 parallel I/O maps onto MPI-IO, so the same
+// counters stand in for the HDF5 layer.
+package mpiio
+
+import (
+	"fmt"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+)
+
+// CounterID indexes the MPI-IO counter vector.
+type CounterID int
+
+// The MPIIO-module counters (a faithful subset of Darshan's MPIIO_* set).
+const (
+	IndepOpens CounterID = iota
+	CollOpens
+	IndepReads
+	IndepWrites
+	CollReads
+	CollWrites
+	Syncs
+	BytesRead
+	BytesWritten
+	RWSwitches
+	SizeWrite0_100
+	SizeWrite100_1K
+	SizeWrite1K_10K
+	SizeWrite10K_100K
+	SizeWrite100K_1M
+	SizeRead0_100
+	SizeRead100_1K
+	SizeRead1K_10K
+	SizeRead10K_100K
+	SizeRead100K_1M
+
+	NumCounters
+)
+
+var counterNames = [NumCounters]string{
+	IndepOpens:        "MPIIO_INDEP_OPENS",
+	CollOpens:         "MPIIO_COLL_OPENS",
+	IndepReads:        "MPIIO_INDEP_READS",
+	IndepWrites:       "MPIIO_INDEP_WRITES",
+	CollReads:         "MPIIO_COLL_READS",
+	CollWrites:        "MPIIO_COLL_WRITES",
+	Syncs:             "MPIIO_SYNCS",
+	BytesRead:         "MPIIO_BYTES_READ",
+	BytesWritten:      "MPIIO_BYTES_WRITTEN",
+	RWSwitches:        "MPIIO_RW_SWITCHES",
+	SizeWrite0_100:    "MPIIO_SIZE_WRITE_AGG_0_100",
+	SizeWrite100_1K:   "MPIIO_SIZE_WRITE_AGG_100_1K",
+	SizeWrite1K_10K:   "MPIIO_SIZE_WRITE_AGG_1K_10K",
+	SizeWrite10K_100K: "MPIIO_SIZE_WRITE_AGG_10K_100K",
+	SizeWrite100K_1M:  "MPIIO_SIZE_WRITE_AGG_100K_1M",
+	SizeRead0_100:     "MPIIO_SIZE_READ_AGG_0_100",
+	SizeRead100_1K:    "MPIIO_SIZE_READ_AGG_100_1K",
+	SizeRead1K_10K:    "MPIIO_SIZE_READ_AGG_1K_10K",
+	SizeRead10K_100K:  "MPIIO_SIZE_READ_AGG_10K_100K",
+	SizeRead100K_1M:   "MPIIO_SIZE_READ_AGG_100K_1M",
+}
+
+// String returns the Darshan MPIIO counter name.
+func (id CounterID) String() string {
+	if id < 0 || id >= NumCounters {
+		return fmt.Sprintf("MPIIOCounter(%d)", int(id))
+	}
+	return counterNames[id]
+}
+
+// CounterNames returns the MPIIO counter names in canonical order.
+func CounterNames() []string {
+	out := make([]string, NumCounters)
+	for i := range out {
+		out[i] = counterNames[i]
+	}
+	return out
+}
+
+// Counters is one rank's MPIIO counter vector; Merge sums ranks like
+// Darshan's shared-record reduction.
+type Counters [NumCounters]float64
+
+// Merge adds o into c.
+func (c *Counters) Merge(o *Counters) {
+	for i := range c {
+		c[i] += o[i]
+	}
+}
+
+func sizeBucket(size int64, base CounterID) CounterID {
+	switch {
+	case size <= 100:
+		return base
+	case size <= 1024:
+		return base + 1
+	case size <= 10*1024:
+		return base + 2
+	case size <= 100*1024:
+		return base + 3
+	default:
+		return base + 4
+	}
+}
+
+// File is one rank's handle on an MPI-IO file. It lowers operations to the
+// POSIX stream via emit and records the rank's MPIIO counters. Like the
+// other per-rank state in this repository, a File is driven from one
+// goroutine.
+type File struct {
+	rank, nprocs int
+	// aggRatio is ranks-per-aggregator for two-phase collectives
+	// (ROMIO's cb_nodes knob expressed as a divisor).
+	aggRatio int
+	fileID   int32
+	emit     func(darshan.Op)
+	c        Counters
+	lastKind darshan.OpKind
+	touched  bool
+	lastEnd  int64
+}
+
+// Open opens the file on this rank. collective marks MPI_File_open on the
+// communicator (counted once per rank as Darshan does).
+func Open(rank, nprocs int, fileID int32, aggRatio int, collective bool, emit func(darshan.Op)) *File {
+	if aggRatio < 1 {
+		aggRatio = 1
+	}
+	if nprocs < 1 {
+		nprocs = 1
+	}
+	f := &File{rank: rank, nprocs: nprocs, aggRatio: aggRatio, fileID: fileID, emit: emit}
+	if collective {
+		f.c[CollOpens]++
+	} else {
+		f.c[IndepOpens]++
+	}
+	f.emit(darshan.Op{Kind: darshan.OpOpen, File: fileID})
+	return f
+}
+
+// Counters returns the rank's MPIIO counters accumulated so far.
+func (f *File) Counters() *Counters { return &f.c }
+
+func (f *File) account(isWrite bool, size int64) {
+	if f.touched && (f.lastKind == darshan.OpWrite) != isWrite {
+		f.c[RWSwitches]++
+	}
+	if isWrite {
+		f.c[BytesWritten] += float64(size)
+		f.c[sizeBucket(size, SizeWrite0_100)]++
+		f.lastKind = darshan.OpWrite
+	} else {
+		f.c[BytesRead] += float64(size)
+		f.c[sizeBucket(size, SizeRead0_100)]++
+		f.lastKind = darshan.OpRead
+	}
+	f.touched = true
+}
+
+// WriteAt is an independent write (MPI_File_write_at): it lowers to a
+// seek+write by this rank.
+func (f *File) WriteAt(off, size int64) {
+	f.c[IndepWrites]++
+	f.account(true, size)
+	if off != f.lastEnd {
+		f.emit(darshan.Op{Kind: darshan.OpSeek, File: f.fileID, Offset: off})
+	}
+	f.emit(darshan.Op{Kind: darshan.OpWrite, File: f.fileID, Offset: off, Size: size})
+	f.lastEnd = off + size
+}
+
+// ReadAt is an independent read (MPI_File_read_at).
+func (f *File) ReadAt(off, size int64) {
+	f.c[IndepReads]++
+	f.account(false, size)
+	f.emit(darshan.Op{Kind: darshan.OpSeek, File: f.fileID, Offset: off})
+	f.emit(darshan.Op{Kind: darshan.OpRead, File: f.fileID, Offset: off, Size: size})
+	f.lastEnd = off + size
+}
+
+// Sync lowers MPI_File_sync to fsync.
+func (f *File) Sync() {
+	f.c[Syncs]++
+	f.emit(darshan.Op{Kind: darshan.OpFsync, File: f.fileID})
+}
+
+// Close flushes and closes the rank's handle.
+func (f *File) Close() {
+	f.emit(darshan.Op{Kind: darshan.OpClose, File: f.fileID})
+}
+
+// isAggregator reports whether this rank writes in two-phase collectives.
+func (f *File) isAggregator() bool { return f.rank%f.aggRatio == 0 }
+
+// groupSpan returns this rank's aggregation group [first, first+len) ranks.
+func (f *File) groupSpan() (first, n int) {
+	first = (f.rank / f.aggRatio) * f.aggRatio
+	n = f.aggRatio
+	if first+n > f.nprocs {
+		n = f.nprocs - first
+	}
+	return first, n
+}
+
+// CollectiveWriteContig is MPI_File_write_at_all for the common
+// contiguous-by-rank decomposition: rank r contributes perRank bytes at
+// base + r·perRank. Two-phase I/O makes each aggregator write its group's
+// merged extent in chunk-sized POSIX writes; every rank still counts one
+// collective write of its own perRank bytes, exactly as Darshan's MPIIO
+// module sees it.
+func (f *File) CollectiveWriteContig(base, perRank, chunk int64) {
+	f.c[CollWrites]++
+	f.account(true, perRank)
+	f.exchange(perRank)
+	if !f.isAggregator() || perRank <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 4 << 20
+	}
+	first, n := f.groupSpan()
+	start := base + int64(first)*perRank
+	total := int64(n) * perRank
+	f.lowerMerged(start, total, chunk, true)
+}
+
+// CollectiveWriteInterleaved is MPI_File_write_at_all for a round-robin
+// decomposition: piece i of rank r lives at base + (i·nprocs + r)·pieceSize,
+// pieces per rank given by count. Two-phase I/O reorders the exchange so
+// aggregators still write contiguous merged extents covering their group's
+// interleaved pieces.
+func (f *File) CollectiveWriteInterleaved(base, pieceSize int64, count int, chunk int64) {
+	f.c[CollWrites]++
+	f.account(true, pieceSize*int64(count))
+	f.exchange(pieceSize * int64(count))
+	if !f.isAggregator() || pieceSize <= 0 || count <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 4 << 20
+	}
+	// The file region covered by the whole collective is
+	// [base, base + count*nprocs*pieceSize); each aggregator takes its
+	// contiguous share of it (two-phase file domains).
+	total := int64(count) * int64(f.nprocs) * pieceSize
+	nAgg := (f.nprocs + f.aggRatio - 1) / f.aggRatio
+	domain := (total + int64(nAgg) - 1) / int64(nAgg)
+	aggIdx := int64(f.rank / f.aggRatio)
+	start := base + aggIdx*domain
+	end := start + domain
+	if end > base+total {
+		end = base + total
+	}
+	if start >= end {
+		return
+	}
+	f.lowerMerged(start, end-start, chunk, true)
+}
+
+// CollectiveWriteGathered is MPI_File_write_at_all with a single aggregator
+// (ROMIO cb_nodes=1): every rank contributes perRank bytes at
+// base + r·perRank; rank 0 gathers and writes the merged region. This is the
+// usual lowering for small metadata/attribute regions.
+func (f *File) CollectiveWriteGathered(base, perRank, chunk int64) {
+	f.c[CollWrites]++
+	f.account(true, perRank)
+	f.exchange(perRank)
+	if f.rank != 0 || perRank <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 4 << 20
+	}
+	f.lowerMerged(base, int64(f.nprocs)*perRank, chunk, true)
+}
+
+// CollectiveReadContig is MPI_File_read_at_all for the contiguous-by-rank
+// decomposition; aggregators issue the merged reads.
+func (f *File) CollectiveReadContig(base, perRank, chunk int64) {
+	f.c[CollReads]++
+	f.account(false, perRank)
+	f.exchange(perRank)
+	if !f.isAggregator() || perRank <= 0 {
+		return
+	}
+	if chunk <= 0 {
+		chunk = 4 << 20
+	}
+	first, n := f.groupSpan()
+	start := base + int64(first)*perRank
+	total := int64(n) * perRank
+	f.lowerMerged(start, total, chunk, false)
+}
+
+// Piece is one extent of a noncontiguous (derived-datatype) access.
+type Piece struct {
+	Off, Size int64
+}
+
+// CollectiveWriteNoncontig is MPI_File_write_at_all with a noncontiguous
+// filetype whose pieces interleave with other ranks' data at sub-chunk
+// granularity, so two-phase aggregation cannot form contiguous file
+// domains. ROMIO then falls back to data sieving: every piece becomes a
+// synchronous lock + read-modify-write round, modeled as a seek + write +
+// fsync per piece. Darshan's MPIIO module still sees one collective write
+// of the summed bytes per rank — which is why the paper's E2E run looks
+// reasonable at the MPI-IO level while the POSIX level shows the disaster.
+func (f *File) CollectiveWriteNoncontig(pieces []Piece) {
+	f.c[CollWrites]++
+	var total int64
+	for _, p := range pieces {
+		if p.Size <= 0 {
+			continue
+		}
+		total += p.Size
+		if p.Off != f.lastEnd {
+			f.emit(darshan.Op{Kind: darshan.OpSeek, File: f.fileID, Offset: p.Off})
+		}
+		f.emit(darshan.Op{Kind: darshan.OpWrite, File: f.fileID, Offset: p.Off, Size: p.Size})
+		f.emit(darshan.Op{Kind: darshan.OpFsync, File: f.fileID})
+		f.lastEnd = p.Off + p.Size
+	}
+	f.account(true, total)
+	f.exchange(total)
+}
+
+// exchange emits the POSIX-invisible two-phase data exchange every rank
+// participates in.
+func (f *File) exchange(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	f.emit(darshan.Op{Kind: darshan.OpExchange, File: f.fileID, Size: bytes})
+}
+
+// lowerMerged emits the aggregator's contiguous POSIX accesses.
+func (f *File) lowerMerged(start, total, chunk int64, write bool) {
+	for off := start; off < start+total; off += chunk {
+		n := chunk
+		if off+n > start+total {
+			n = start + total - off
+		}
+		if off != f.lastEnd {
+			f.emit(darshan.Op{Kind: darshan.OpSeek, File: f.fileID, Offset: off})
+		}
+		kind := darshan.OpRead
+		if write {
+			kind = darshan.OpWrite
+		}
+		f.emit(darshan.Op{Kind: kind, File: f.fileID, Offset: off, Size: n})
+		f.lastEnd = off + n
+	}
+}

@@ -1,0 +1,338 @@
+// Package report renders the paper's figures as deterministic text
+// artifacts: signed horizontal bar charts for SHAP waterfalls (Figs. 6–15),
+// histograms (Fig. 4), scatter density grids (Fig. 5), line charts for loss
+// curves (Fig. 16), and aligned tables (Tables 1–3). Everything writes to an
+// io.Writer so experiments can tee their output into EXPERIMENTS.md runs
+// and tests can assert on the rendering.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Bar is one labeled signed value.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// HBars renders signed horizontal bars around a central axis — the text
+// analogue of a SHAP waterfall plot. Negative bars (bottlenecks) extend
+// left, positive right. width is the number of character cells per side.
+func HBars(w io.Writer, title string, bars []Bar, width int) {
+	if width <= 0 {
+		width = 30
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	max := 0.0
+	labelW := 0
+	for _, b := range bars {
+		if v := math.Abs(b.Value); v > max {
+			max = v
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	for _, b := range bars {
+		n := int(math.Round(math.Abs(b.Value) / max * float64(width)))
+		if n == 0 && b.Value != 0 {
+			n = 1
+		}
+		var left, right string
+		if b.Value < 0 {
+			left = strings.Repeat(" ", width-n) + strings.Repeat("#", n)
+			right = strings.Repeat(" ", width)
+		} else {
+			left = strings.Repeat(" ", width)
+			right = strings.Repeat("#", n) + strings.Repeat(" ", width-n)
+		}
+		fmt.Fprintf(w, "  %-*s %s|%s %+.4f\n", labelW, b.Label, left, right, b.Value)
+	}
+}
+
+// Histogram renders a fixed-bin histogram of values.
+func Histogram(w io.Writer, title string, values []float64, bins, width int) {
+	if bins <= 0 {
+		bins = 10
+	}
+	if width <= 0 {
+		width = 40
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	if len(values) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	min, max := values[0], values[0]
+	for _, v := range values {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max == min {
+		max = min + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range values {
+		b := int(float64(bins) * (v - min) / (max - min))
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	for b, c := range counts {
+		lo := min + (max-min)*float64(b)/float64(bins)
+		hi := min + (max-min)*float64(b+1)/float64(bins)
+		n := 0
+		if peak > 0 {
+			n = c * width / peak
+		}
+		fmt.Fprintf(w, "  [%10.3g, %10.3g) %-*s %d\n", lo, hi, width, strings.Repeat("#", n), c)
+	}
+}
+
+// Scatter renders a density grid of (x, y) points: darker cells hold more
+// points. rows × cols is the grid size.
+func Scatter(w io.Writer, title string, xs, ys []float64, rows, cols int) {
+	if rows <= 0 {
+		rows = 16
+	}
+	if cols <= 0 {
+		cols = 60
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	if len(xs) == 0 || len(xs) != len(ys) {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	minX, maxX := xs[0], xs[0]
+	minY, maxY := ys[0], ys[0]
+	for i := range xs {
+		minX = math.Min(minX, xs[i])
+		maxX = math.Max(maxX, xs[i])
+		minY = math.Min(minY, ys[i])
+		maxY = math.Max(maxY, ys[i])
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]int, rows)
+	for r := range grid {
+		grid[r] = make([]int, cols)
+	}
+	for i := range xs {
+		c := int(float64(cols) * (xs[i] - minX) / (maxX - minX))
+		r := int(float64(rows) * (ys[i] - minY) / (maxY - minY))
+		if c >= cols {
+			c = cols - 1
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		grid[rows-1-r][c]++ // y grows upward
+	}
+	shades := []byte(" .:*#@")
+	for r := 0; r < rows; r++ {
+		line := make([]byte, cols)
+		for c := 0; c < cols; c++ {
+			v := grid[r][c]
+			idx := 0
+			switch {
+			case v == 0:
+				idx = 0
+			case v <= 1:
+				idx = 1
+			case v <= 3:
+				idx = 2
+			case v <= 8:
+				idx = 3
+			case v <= 20:
+				idx = 4
+			default:
+				idx = 5
+			}
+			line[c] = shades[idx]
+		}
+		fmt.Fprintf(w, "  |%s|\n", line)
+	}
+	fmt.Fprintf(w, "   x: [%.3g, %.3g]  y: [%.3g, %.3g]  n=%d\n", minX, maxX, minY, maxY, len(xs))
+}
+
+// LineChart renders a single series as an ASCII line plot (used for the
+// Fig. 16 loss curve).
+func LineChart(w io.Writer, title string, series []float64, rows, cols int) {
+	if rows <= 0 {
+		rows = 12
+	}
+	if cols <= 0 {
+		cols = 60
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	if len(series) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	min, max := series[0], series[0]
+	for _, v := range series {
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	if max == min {
+		max = min + 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for c := 0; c < cols; c++ {
+		i := c * (len(series) - 1) / maxInt(cols-1, 1)
+		v := series[i]
+		r := int(float64(rows-1) * (max - v) / (max - min))
+		grid[r][c] = '*'
+	}
+	fmt.Fprintf(w, "  %8.4f +%s\n", max, strings.Repeat("-", cols))
+	for r := 0; r < rows; r++ {
+		fmt.Fprintf(w, "           |%s\n", grid[r])
+	}
+	fmt.Fprintf(w, "  %8.4f +%s (n=%d)\n", min, strings.Repeat("-", cols), len(series))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table renders an aligned text table.
+func Table(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(headers))
+		for i := range headers {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range rows {
+		printRow(row)
+	}
+}
+
+// KV prints a "key: value" block line.
+func KV(w io.Writer, key string, format string, args ...interface{}) {
+	fmt.Fprintf(w, "  %-28s "+format+"\n", append([]interface{}{key + ":"}, args...)...)
+}
+
+// Summary renders a SHAP summary ("beeswarm") plot as text: one row per
+// feature, each sample's value marked by position along a shared signed
+// axis — the form of the paper's Fig. 1b. Rows are ordered by mean |value|
+// and capped at topN.
+func Summary(w io.Writer, title string, names []string, samples [][]float64, topN, width int) {
+	if width <= 0 {
+		width = 60
+	}
+	fmt.Fprintf(w, "%s\n", title)
+	if len(samples) == 0 || len(names) == 0 {
+		fmt.Fprintln(w, "  (no data)")
+		return
+	}
+	nf := len(names)
+	meanAbs := make([]float64, nf)
+	max := 0.0
+	for _, s := range samples {
+		for j := 0; j < nf && j < len(s); j++ {
+			meanAbs[j] += math.Abs(s[j]) / float64(len(samples))
+			if a := math.Abs(s[j]); a > max {
+				max = a
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	order := make([]int, nf)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return meanAbs[order[a]] > meanAbs[order[b]] })
+	if topN > 0 && topN < nf {
+		order = order[:topN]
+	}
+	labelW := 0
+	for _, j := range order {
+		if len(names[j]) > labelW {
+			labelW = len(names[j])
+		}
+	}
+	mid := width / 2
+	for _, j := range order {
+		line := []byte(strings.Repeat(" ", width+1))
+		line[mid] = '|'
+		for _, s := range samples {
+			if j >= len(s) {
+				continue
+			}
+			pos := mid + int(math.Round(s[j]/max*float64(mid)))
+			if pos < 0 {
+				pos = 0
+			}
+			if pos > width {
+				pos = width
+			}
+			switch line[pos] {
+			case ' ', '|':
+				line[pos] = '.'
+			case '.':
+				line[pos] = ':'
+			case ':':
+				line[pos] = '*'
+			default:
+				line[pos] = '#'
+			}
+		}
+		fmt.Fprintf(w, "  %-*s %s mean|v|=%.4f\n", labelW, names[j], line, meanAbs[j])
+	}
+	fmt.Fprintf(w, "  %-*s %s\n", labelW, "", fmt.Sprintf("%-*s0%*s",
+		mid, fmt.Sprintf("%-.3g", -max), mid, fmt.Sprintf("%+.3g", max)))
+}

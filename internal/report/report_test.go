@@ -1,0 +1,152 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHBars(t *testing.T) {
+	var sb strings.Builder
+	HBars(&sb, "factors", []Bar{
+		{"POSIX_SEEKS", -0.5},
+		{"POSIX_SEQ_WRITES", 0.25},
+		{"zero", 0},
+	}, 10)
+	out := sb.String()
+	if !strings.Contains(out, "factors") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	// Negative bar: hashes before the axis; positive: after.
+	neg := lines[1]
+	pos := lines[2]
+	if !strings.Contains(neg, "#|") && !strings.Contains(neg, "# ") {
+		t.Errorf("negative bar malformed: %q", neg)
+	}
+	if strings.Index(neg, "#") > strings.Index(neg, "|") {
+		t.Errorf("negative bar on wrong side: %q", neg)
+	}
+	if strings.Index(pos, "#") < strings.Index(pos, "|") {
+		t.Errorf("positive bar on wrong side: %q", pos)
+	}
+	if !strings.Contains(out, "-0.5000") || !strings.Contains(out, "+0.2500") {
+		t.Errorf("values missing: %q", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var sb strings.Builder
+	Histogram(&sb, "perf", []float64{1, 1, 1, 5, 9}, 4, 20)
+	out := sb.String()
+	if !strings.Contains(out, "perf") || !strings.Contains(out, "#") {
+		t.Errorf("histogram malformed: %q", out)
+	}
+	sb.Reset()
+	Histogram(&sb, "empty", nil, 4, 20)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("empty histogram should say so")
+	}
+	sb.Reset()
+	Histogram(&sb, "const", []float64{3, 3, 3}, 4, 20)
+	if !strings.Contains(sb.String(), "3") {
+		t.Error("constant histogram broken")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	var sb strings.Builder
+	xs := []float64{0, 1, 2, 3, 4, 5}
+	ys := []float64{0, 1, 4, 9, 16, 25}
+	Scatter(&sb, "xy", xs, ys, 8, 20)
+	out := sb.String()
+	if !strings.Contains(out, "n=6") {
+		t.Errorf("scatter missing count: %q", out)
+	}
+	if strings.Count(out, "|") < 16 {
+		t.Error("scatter grid missing")
+	}
+	sb.Reset()
+	Scatter(&sb, "bad", []float64{1}, []float64{}, 4, 10)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("mismatched scatter should report no data")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	var sb strings.Builder
+	LineChart(&sb, "loss", []float64{1.0, 0.8, 0.5, 0.45, 0.44}, 6, 30)
+	out := sb.String()
+	if !strings.Contains(out, "loss") || !strings.Contains(out, "*") {
+		t.Errorf("line chart malformed: %q", out)
+	}
+	if !strings.Contains(out, "n=5") {
+		t.Error("missing point count")
+	}
+	sb.Reset()
+	LineChart(&sb, "empty", nil, 4, 10)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestTable(t *testing.T) {
+	var sb strings.Builder
+	Table(&sb, []string{"Model", "RMSE"}, [][]string{
+		{"xgboost", "0.56"},
+		{"lightgbm", "0.26"},
+	})
+	out := sb.String()
+	if !strings.Contains(out, "Model") || !strings.Contains(out, "lightgbm") {
+		t.Errorf("table malformed: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Error("missing separator row")
+	}
+}
+
+func TestKV(t *testing.T) {
+	var sb strings.Builder
+	KV(&sb, "performance", "%.2f MiB/s", 412.7)
+	if !strings.Contains(sb.String(), "performance:") || !strings.Contains(sb.String(), "412.70 MiB/s") {
+		t.Errorf("KV = %q", sb.String())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var sb strings.Builder
+	names := []string{"A", "B", "C"}
+	samples := [][]float64{
+		{0.5, -0.1, 0},
+		{0.4, -0.2, 0},
+		{0.6, 0.1, 0},
+	}
+	Summary(&sb, "beeswarm", names, samples, 2, 40)
+	out := sb.String()
+	if !strings.Contains(out, "beeswarm") {
+		t.Error("missing title")
+	}
+	// A has the largest mean |value| and must be first; C (all zero) is
+	// cut by topN=2.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "A") {
+		t.Errorf("first row %q is not feature A", lines[1])
+	}
+	if strings.Contains(out, "C ") && strings.Index(out, "C ") < len(out)-80 {
+		t.Log("C may appear in axis only")
+	}
+	if !strings.Contains(out, "mean|v|") {
+		t.Error("missing mean annotation")
+	}
+	sb.Reset()
+	Summary(&sb, "empty", nil, nil, 5, 40)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Error("empty summary should say so")
+	}
+}

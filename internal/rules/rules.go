@@ -1,0 +1,249 @@
+// Package rules implements a static-rule I/O diagnosis in the style of
+// Drishti (Bez et al., PDSW'22) and DigIO — the semi-automatic related work
+// of Section 2.2. Each rule is a manually defined threshold trigger over the
+// Darshan counters. The package exists as a comparison baseline: the paper's
+// point is that such rules must be written and re-tuned by hand, whereas
+// AIIO derives the per-job impact automatically from data; the experiments
+// measure where the two agree and where static thresholds go quiet or fire
+// spuriously.
+package rules
+
+import (
+	"fmt"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+)
+
+// Severity grades a finding like Drishti does.
+type Severity int
+
+// Severity levels.
+const (
+	Info Severity = iota
+	Warning
+	Critical
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Critical:
+		return "critical"
+	}
+	return fmt.Sprintf("Severity(%d)", int(s))
+}
+
+// Finding is one triggered rule.
+type Finding struct {
+	Rule     string
+	Severity Severity
+	Detail   string
+	// Counter is the primary counter behind the trigger.
+	Counter darshan.CounterID
+}
+
+// Rule is a static trigger over a job record.
+type Rule struct {
+	Name string
+	// Check returns a finding when the rule fires.
+	Check func(rec *darshan.Record) (Finding, bool)
+}
+
+// thresholds of the default rule set; these are the hand-tuned constants a
+// Drishti-style tool ships with.
+const (
+	smallAccessWarn   = 0.10 // fraction of accesses under 1 KiB
+	smallAccessCrit   = 0.50
+	seekRatioWarn     = 0.20 // seeks per data op
+	unalignedWarn     = 0.10 // unaligned fraction
+	metadataRatioWarn = 0.05 // metadata ops per data op
+	randomSeqWarn     = 0.50 // sequential fraction below this is "random"
+	stripeSmallWarn   = 1 << 20
+)
+
+// DefaultRules returns the built-in rule set.
+func DefaultRules() []Rule {
+	return []Rule{
+		{Name: "small-writes", Check: checkSmallWrites},
+		{Name: "small-reads", Check: checkSmallReads},
+		{Name: "excessive-seeks", Check: checkSeeks},
+		{Name: "unaligned-access", Check: checkUnaligned},
+		{Name: "metadata-load", Check: checkMetadata},
+		{Name: "random-writes", Check: checkRandomWrites},
+		{Name: "random-reads", Check: checkRandomReads},
+		{Name: "narrow-striping", Check: checkStriping},
+		{Name: "rw-switching", Check: checkRWSwitches},
+	}
+}
+
+// Diagnose runs every rule against the record.
+func Diagnose(rec *darshan.Record) []Finding {
+	var out []Finding
+	for _, r := range DefaultRules() {
+		if f, ok := r.Check(rec); ok {
+			f.Rule = r.Name
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func frac(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+func checkSmallWrites(rec *darshan.Record) (Finding, bool) {
+	writes := rec.Counter(darshan.PosixWrites)
+	small := rec.Counter(darshan.PosixSizeWrite0_100) + rec.Counter(darshan.PosixSizeWrite100_1K)
+	f := frac(small, writes)
+	if f < smallAccessWarn {
+		return Finding{}, false
+	}
+	sev := Warning
+	if f >= smallAccessCrit {
+		sev = Critical
+	}
+	return Finding{
+		Severity: sev,
+		Counter:  darshan.PosixSizeWrite100_1K,
+		Detail:   fmt.Sprintf("%.0f%% of %g writes are under 1 KiB", f*100, writes),
+	}, true
+}
+
+func checkSmallReads(rec *darshan.Record) (Finding, bool) {
+	reads := rec.Counter(darshan.PosixReads)
+	small := rec.Counter(darshan.PosixSizeRead0_100) + rec.Counter(darshan.PosixSizeRead100_1K)
+	f := frac(small, reads)
+	if f < smallAccessWarn {
+		return Finding{}, false
+	}
+	sev := Warning
+	if f >= smallAccessCrit {
+		sev = Critical
+	}
+	return Finding{
+		Severity: sev,
+		Counter:  darshan.PosixSizeRead100_1K,
+		Detail:   fmt.Sprintf("%.0f%% of %g reads are under 1 KiB", f*100, reads),
+	}, true
+}
+
+func checkSeeks(rec *darshan.Record) (Finding, bool) {
+	ops := rec.Counter(darshan.PosixReads) + rec.Counter(darshan.PosixWrites)
+	f := frac(rec.Counter(darshan.PosixSeeks), ops)
+	if f < seekRatioWarn {
+		return Finding{}, false
+	}
+	sev := Warning
+	if f >= 0.9 {
+		sev = Critical
+	}
+	return Finding{
+		Severity: sev,
+		Counter:  darshan.PosixSeeks,
+		Detail:   fmt.Sprintf("%.2f seeks per data operation", f),
+	}, true
+}
+
+func checkUnaligned(rec *darshan.Record) (Finding, bool) {
+	ops := rec.Counter(darshan.PosixReads) + rec.Counter(darshan.PosixWrites)
+	f := frac(rec.Counter(darshan.PosixFileNotAligned), ops)
+	if f < unalignedWarn {
+		return Finding{}, false
+	}
+	return Finding{
+		Severity: Warning,
+		Counter:  darshan.PosixFileNotAligned,
+		Detail:   fmt.Sprintf("%.0f%% of accesses not file-aligned", f*100),
+	}, true
+}
+
+func checkMetadata(rec *darshan.Record) (Finding, bool) {
+	ops := rec.Counter(darshan.PosixReads) + rec.Counter(darshan.PosixWrites)
+	meta := rec.Counter(darshan.PosixOpens) + rec.Counter(darshan.PosixStats)
+	if ops == 0 && meta > 0 {
+		return Finding{Severity: Critical, Counter: darshan.PosixOpens,
+			Detail: "metadata operations with no data transfer"}, true
+	}
+	f := frac(meta, ops)
+	if f < metadataRatioWarn {
+		return Finding{}, false
+	}
+	sev := Warning
+	if f >= 0.5 {
+		sev = Critical
+	}
+	return Finding{
+		Severity: sev,
+		Counter:  darshan.PosixOpens,
+		Detail:   fmt.Sprintf("%.2f metadata ops per data operation", f),
+	}, true
+}
+
+func checkRandomWrites(rec *darshan.Record) (Finding, bool) {
+	writes := rec.Counter(darshan.PosixWrites)
+	if writes < 2 {
+		return Finding{}, false
+	}
+	f := frac(rec.Counter(darshan.PosixSeqWrites), writes-rec.Counter(darshan.NProcs))
+	if f >= randomSeqWarn {
+		return Finding{}, false
+	}
+	return Finding{
+		Severity: Warning,
+		Counter:  darshan.PosixSeqWrites,
+		Detail:   fmt.Sprintf("only %.0f%% of writes are sequential", f*100),
+	}, true
+}
+
+func checkRandomReads(rec *darshan.Record) (Finding, bool) {
+	reads := rec.Counter(darshan.PosixReads)
+	if reads < 2 {
+		return Finding{}, false
+	}
+	f := frac(rec.Counter(darshan.PosixSeqReads), reads-rec.Counter(darshan.NProcs))
+	if f >= randomSeqWarn {
+		return Finding{}, false
+	}
+	return Finding{
+		Severity: Warning,
+		Counter:  darshan.PosixSeqReads,
+		Detail:   fmt.Sprintf("only %.0f%% of reads are sequential", f*100),
+	}, true
+}
+
+func checkStriping(rec *darshan.Record) (Finding, bool) {
+	bytes := rec.TotalBytes()
+	width := rec.Counter(darshan.LustreStripeWidth)
+	if bytes < 256*(1<<20) || width > 1 {
+		return Finding{}, false
+	}
+	if rec.Counter(darshan.LustreStripeSize) > stripeSmallWarn {
+		return Finding{}, false
+	}
+	return Finding{
+		Severity: Warning,
+		Counter:  darshan.LustreStripeWidth,
+		Detail:   fmt.Sprintf("%.0f MiB moved over a single OST with small stripes", bytes/(1<<20)),
+	}, true
+}
+
+func checkRWSwitches(rec *darshan.Record) (Finding, bool) {
+	ops := rec.Counter(darshan.PosixReads) + rec.Counter(darshan.PosixWrites)
+	f := frac(rec.Counter(darshan.PosixRWSwitches), ops)
+	if f < 0.2 {
+		return Finding{}, false
+	}
+	return Finding{
+		Severity: Warning,
+		Counter:  darshan.PosixRWSwitches,
+		Detail:   fmt.Sprintf("%.0f%% of operations switch between read and write", f*100),
+	}, true
+}

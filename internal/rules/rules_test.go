@@ -1,0 +1,113 @@
+package rules
+
+import (
+	"testing"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/iosim"
+	"github.com/hpc-repro/aiio/internal/workload"
+)
+
+func quietParams() iosim.Params {
+	p := iosim.DefaultParams()
+	p.NoiseSigma = 0
+	return p
+}
+
+func runPattern(t *testing.T, id int) *darshan.Record {
+	t.Helper()
+	cfg := workload.Patterns()[id-1].Config.Scale(16, 4)
+	rec, _ := cfg.Run("ior", int64(id), int64(id), quietParams())
+	return rec
+}
+
+func hasRule(fs []Finding, name string) bool {
+	for _, f := range fs {
+		if f.Rule == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRulesFireOnPatterns(t *testing.T) {
+	cases := []struct {
+		pattern int
+		rule    string
+	}{
+		{1, "small-writes"},
+		{2, "excessive-seeks"},
+		{3, "small-writes"},
+		{4, "excessive-seeks"},
+		{5, "unaligned-access"},
+		{6, "small-reads"},
+	}
+	for _, tc := range cases {
+		rec := runPattern(t, tc.pattern)
+		fs := Diagnose(rec)
+		if !hasRule(fs, tc.rule) {
+			names := make([]string, len(fs))
+			for i, f := range fs {
+				names[i] = f.Rule
+			}
+			t.Errorf("pattern %d: rule %q did not fire (got %v)", tc.pattern, tc.rule, names)
+		}
+	}
+}
+
+func TestRulesQuietOnGoodJob(t *testing.T) {
+	cfg := workload.DefaultIOR()
+	cfg.Write = true
+	cfg.TransferSize = 1 * iosim.MiB
+	cfg.BlockSize = 16 * iosim.MiB
+	cfg.NProcs = 8
+	cfg.FS = iosim.FSConfig{StripeSize: 4 * iosim.MiB, StripeWidth: 8}
+	rec, _ := cfg.Run("ior", 1, 1, quietParams())
+	fs := Diagnose(rec)
+	for _, f := range fs {
+		if f.Severity == Critical {
+			t.Errorf("well-tuned job got critical finding %s: %s", f.Rule, f.Detail)
+		}
+	}
+	if hasRule(fs, "small-writes") || hasRule(fs, "excessive-seeks") {
+		t.Errorf("spurious findings on a well-tuned job: %+v", fs)
+	}
+}
+
+func TestMetadataRule(t *testing.T) {
+	rec := &darshan.Record{}
+	rec.SetCounter(darshan.PosixOpens, 100)
+	fs := Diagnose(rec)
+	if !hasRule(fs, "metadata-load") {
+		t.Error("metadata rule silent on a metadata-only job")
+	}
+	for _, f := range fs {
+		if f.Rule == "metadata-load" && f.Severity != Critical {
+			t.Error("metadata with no data should be critical")
+		}
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Info.String() != "info" || Warning.String() != "warning" || Critical.String() != "critical" {
+		t.Error("severity names wrong")
+	}
+	if Severity(9).String() == "" {
+		t.Error("out-of-range severity should stringify")
+	}
+}
+
+func TestEmptyRecordNoFindings(t *testing.T) {
+	if fs := Diagnose(&darshan.Record{}); len(fs) != 0 {
+		t.Errorf("empty record produced findings: %+v", fs)
+	}
+}
+
+func TestFindingsCarryCountersAndDetails(t *testing.T) {
+	rec := runPattern(t, 1)
+	for _, f := range Diagnose(rec) {
+		if f.Detail == "" || f.Rule == "" {
+			t.Errorf("finding incomplete: %+v", f)
+		}
+	}
+}

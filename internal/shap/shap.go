@@ -1,0 +1,398 @@
+// Package shap implements Kernel SHAP (Lundberg & Lee, NeurIPS 2017) — the
+// AI-interpretation method AIIO uses as its diagnosis function (Section 3.3,
+// Eq. 4). Given a performance function f and a job's counter vector x, the
+// explainer allocates f(x) − f(background) across the counters as Shapley
+// values C_j: negative C_j marks a counter as an I/O bottleneck.
+//
+// Two estimators are provided behind one API:
+//
+//   - exact enumeration of all coalitions when the number of active
+//     features is small (≤ MaxExact), which yields exact Shapley values;
+//   - the Kernel SHAP weighted-least-squares estimator with paired
+//     coalition sampling otherwise, solved with the efficiency constraint
+//     (Σ C_j = f(x) − f(background)) eliminated analytically.
+//
+// The paper's sparsity rule is enforced structurally: features equal to the
+// background (zero, for AIIO's zero background filter) are never perturbed
+// and receive exactly zero contribution, which is the robustness property
+// Section 3.3 contrasts with Gauge.
+package shap
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hpc-repro/aiio/internal/linalg"
+)
+
+// PredictFunc evaluates the model on a batch of rows (one prediction per
+// row). Batch evaluation lets tree ensembles and networks amortize work and
+// parallelize internally.
+type PredictFunc func(x *linalg.Matrix) []float64
+
+// Config tunes the explainer.
+type Config struct {
+	// MaxExact is the largest active-feature count for which all 2^M
+	// coalitions are enumerated (exact Shapley values). Above it the
+	// sampling estimator runs.
+	MaxExact int
+	// NSamples is the coalition budget for the sampling estimator.
+	NSamples int
+	// Ridge is the regularization of the WLS solve.
+	Ridge float64
+	Seed  int64
+}
+
+// DefaultConfig matches the shap package's auto settings at AIIO's scale.
+func DefaultConfig() Config {
+	return Config{
+		MaxExact: 12,
+		NSamples: 4096,
+		Ridge:    1e-9,
+		Seed:     1,
+	}
+}
+
+// Explanation is the diagnosis of one job under one performance function.
+type Explanation struct {
+	// Phi are the per-feature contributions C_j; exactly zero for features
+	// equal to the background.
+	Phi []float64
+	// Base is E[f] — here f(background), the expected performance with no
+	// counters active.
+	Base float64
+	// FX is f(x).
+	FX float64
+	// Exact records whether the exact enumerator ran.
+	Exact bool
+}
+
+// AdditivityError returns |Base + Σ Phi − FX|, the local-accuracy residual
+// (zero up to float rounding for both estimators by construction).
+func (e *Explanation) AdditivityError() float64 {
+	s := e.Base
+	for _, p := range e.Phi {
+		s += p
+	}
+	return math.Abs(s - e.FX)
+}
+
+// Explainer computes SHAP values against a fixed background.
+type Explainer struct {
+	f          PredictFunc
+	background []float64
+	cfg        Config
+}
+
+// New creates an explainer. AIIO initializes the background filter to zero
+// (Section 3.3); pass nil for an all-zero background of the given size at
+// first Explain call.
+func New(f PredictFunc, background []float64, cfg Config) *Explainer {
+	if cfg.MaxExact <= 0 {
+		cfg.MaxExact = DefaultConfig().MaxExact
+	}
+	if cfg.NSamples <= 0 {
+		cfg.NSamples = DefaultConfig().NSamples
+	}
+	if cfg.Ridge <= 0 {
+		cfg.Ridge = DefaultConfig().Ridge
+	}
+	return &Explainer{f: f, background: background, cfg: cfg}
+}
+
+// Explain computes the SHAP values of x.
+func (e *Explainer) Explain(x []float64) Explanation {
+	bg := e.background
+	if bg == nil {
+		bg = make([]float64, len(x))
+	}
+	if len(bg) != len(x) {
+		panic(fmt.Sprintf("shap: background dim %d vs input dim %d", len(bg), len(x)))
+	}
+
+	// Active set: features differing from the background.
+	active := make([]int, 0, len(x))
+	for j := range x {
+		if x[j] != bg[j] {
+			active = append(active, j)
+		}
+	}
+
+	out := Explanation{Phi: make([]float64, len(x))}
+	base, fx := e.evalPair(bg, x)
+	out.Base = base
+	out.FX = fx
+
+	switch {
+	case len(active) == 0:
+		return out
+	case len(active) == 1:
+		out.Phi[active[0]] = fx - base
+		out.Exact = true
+		return out
+	case len(active) <= e.cfg.MaxExact:
+		e.exact(x, bg, active, &out)
+		return out
+	default:
+		e.sampled(x, bg, active, &out)
+		return out
+	}
+}
+
+// evalPair evaluates f on the background and the full input in one batch.
+func (e *Explainer) evalPair(bg, x []float64) (base, fx float64) {
+	m := linalg.NewMatrix(2, len(x))
+	copy(m.Row(0), bg)
+	copy(m.Row(1), x)
+	p := e.f(m)
+	return p[0], p[1]
+}
+
+// exact enumerates all 2^M coalitions of the active features and computes
+// exact Shapley values from the marginal contributions.
+func (e *Explainer) exact(x, bg []float64, active []int, out *Explanation) {
+	m := len(active)
+	n := 1 << m
+
+	// Evaluate f on every coalition input.
+	inputs := linalg.NewMatrix(n, len(x))
+	for mask := 0; mask < n; mask++ {
+		row := inputs.Row(mask)
+		copy(row, bg)
+		for b := 0; b < m; b++ {
+			if mask&(1<<b) != 0 {
+				row[active[b]] = x[active[b]]
+			}
+		}
+	}
+	vals := e.f(inputs)
+
+	// Precompute |S|!(M-|S|-1)!/M! per coalition size.
+	weight := make([]float64, m)
+	for s := 0; s < m; s++ {
+		weight[s] = 1 / (float64(m) * binom(m-1, s))
+	}
+
+	for b := 0; b < m; b++ {
+		bit := 1 << b
+		phi := 0.0
+		for mask := 0; mask < n; mask++ {
+			if mask&bit != 0 {
+				continue
+			}
+			s := popcount(mask)
+			phi += weight[s] * (vals[mask|bit] - vals[mask])
+		}
+		out.Phi[active[b]] = phi
+	}
+	out.Exact = true
+}
+
+func popcount(v int) int {
+	c := 0
+	for v != 0 {
+		v &= v - 1
+		c++
+	}
+	return c
+}
+
+// binom returns C(n, k) as float64.
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// sampled runs the Kernel SHAP WLS estimator with paired coalition
+// enumeration/sampling, following the shap package's KernelExplainer.
+func (e *Explainer) sampled(x, bg []float64, active []int, out *Explanation) {
+	m := len(active)
+	budget := e.cfg.NSamples
+	rng := rand.New(rand.NewSource(e.cfg.Seed))
+
+	type coalition struct {
+		mask   []bool
+		weight float64
+	}
+	var coalitions []coalition
+
+	// Shapley kernel weight per size, paired (s and m-s together).
+	sizeWeight := func(s int) float64 {
+		return float64(m-1) / (float64(s) * float64(m-s))
+	}
+	maxPair := m / 2 // pairs (1, m-1), (2, m-2), ...
+
+	remainingWeight := 0.0
+	for s := 1; s <= maxPair; s++ {
+		w := sizeWeight(s)
+		if s != m-s {
+			w *= 2
+		}
+		remainingWeight += w
+	}
+
+	used := 0
+	completeSizes := make(map[int]bool)
+	for s := 1; s <= maxPair; s++ {
+		cnt := binom(m, s)
+		total := cnt
+		if s != m-s {
+			total *= 2
+		}
+		if float64(budget-used) < total {
+			break
+		}
+		// Enumerate all subsets of size s (and complements): each subset of
+		// a complete size level shares the level's kernel weight equally.
+		w := sizeWeight(s)
+		if s != m-s {
+			w *= 2
+		}
+		per := w / total
+		forEachSubset(m, s, func(idx []int) {
+			mask := make([]bool, m)
+			for _, i := range idx {
+				mask[i] = true
+			}
+			coalitions = append(coalitions, coalition{mask: mask, weight: per})
+			if s != m-s {
+				comp := make([]bool, m)
+				for i := range comp {
+					comp[i] = !mask[i]
+				}
+				coalitions = append(coalitions, coalition{mask: comp, weight: per})
+			}
+		})
+		used += int(total)
+		remainingWeight -= w
+		completeSizes[s] = true
+	}
+
+	// Random sampling for the remaining budget across incomplete sizes.
+	if remainingWeight > 1e-12 {
+		var sizes []int
+		var cumw []float64
+		tot := 0.0
+		for s := 1; s <= maxPair; s++ {
+			if completeSizes[s] {
+				continue
+			}
+			w := sizeWeight(s)
+			if s != m-s {
+				w *= 2
+			}
+			tot += w
+			sizes = append(sizes, s)
+			cumw = append(cumw, tot)
+		}
+		nRand := budget - used
+		if nRand > 0 && len(sizes) > 0 {
+			per := remainingWeight / float64(nRand) // equal weight per sample
+			perm := make([]int, m)
+			for i := range perm {
+				perm[i] = i
+			}
+			for k := 0; k < nRand; k++ {
+				r := rng.Float64() * tot
+				si := 0
+				for si < len(cumw)-1 && r > cumw[si] {
+					si++
+				}
+				s := sizes[si]
+				if s != m-s && rng.Intn(2) == 1 {
+					s = m - s
+				}
+				rng.Shuffle(m, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+				mask := make([]bool, m)
+				for _, i := range perm[:s] {
+					mask[i] = true
+				}
+				coalitions = append(coalitions, coalition{mask: mask, weight: per})
+			}
+		}
+	}
+
+	// Evaluate f on every coalition.
+	inputs := linalg.NewMatrix(len(coalitions), len(x))
+	for i, c := range coalitions {
+		row := inputs.Row(i)
+		copy(row, bg)
+		for b, on := range c.mask {
+			if on {
+				row[active[b]] = x[active[b]]
+			}
+		}
+	}
+	vals := e.f(inputs)
+
+	// Constrained WLS: eliminate the last active feature with the
+	// efficiency constraint Σ phi = fx - base.
+	delta := out.FX - out.Base
+	zCols := m - 1
+	zm := linalg.NewMatrix(len(coalitions), zCols)
+	yv := make([]float64, len(coalitions))
+	wv := make([]float64, len(coalitions))
+	for i, c := range coalitions {
+		last := 0.0
+		if c.mask[m-1] {
+			last = 1
+		}
+		row := zm.Row(i)
+		for b := 0; b < zCols; b++ {
+			zb := 0.0
+			if c.mask[b] {
+				zb = 1
+			}
+			row[b] = zb - last
+		}
+		yv[i] = vals[i] - out.Base - last*delta
+		wv[i] = c.weight
+	}
+	beta, err := linalg.WeightedRidge(zm, yv, wv, e.cfg.Ridge, false)
+	if err != nil {
+		// Degenerate sampling: fall back to spreading delta uniformly.
+		for _, j := range active {
+			out.Phi[j] = delta / float64(m)
+		}
+		return
+	}
+	sum := 0.0
+	for b := 0; b < zCols; b++ {
+		out.Phi[active[b]] = beta[b]
+		sum += beta[b]
+	}
+	out.Phi[active[m-1]] = delta - sum
+}
+
+// forEachSubset enumerates all k-subsets of {0..n-1} in lexicographic order.
+func forEachSubset(n, k int, fn func(idx []int)) {
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		fn(idx)
+		// Advance.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

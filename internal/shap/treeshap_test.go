@@ -1,0 +1,187 @@
+package shap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/hpc-repro/aiio/internal/gbdt"
+	"github.com/hpc-repro/aiio/internal/linalg"
+)
+
+// trainSmallGBDT fits a small ensemble on a synthetic sparse problem.
+func trainSmallGBDT(t testing.TB, n, d, rounds int, seed int64) (*gbdt.Model, *linalg.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	x := linalg.NewMatrix(n, d)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := x.Row(i)
+		for j := range row {
+			if rng.Float64() < 0.3 {
+				row[j] = 0
+			} else {
+				row[j] = rng.Float64() * 10
+			}
+		}
+		y[i] = 2*row[0] - row[1%d] + row[2%d]*row[3%d]/10 + rng.NormFloat64()*0.05
+	}
+	cfg := gbdt.DefaultConfig(gbdt.LevelWise)
+	cfg.Rounds = rounds
+	cfg.MaxDepth = 4
+	cfg.EarlyStoppingRounds = 0
+	m, err := gbdt.Train(cfg, x, y, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, x
+}
+
+func TestTreeSHAPLocalAccuracy(t *testing.T) {
+	m, x := trainSmallGBDT(t, 600, 6, 25, 1)
+	ex := NewTree(m)
+	for i := 0; i < x.Rows; i += 41 {
+		row := x.Row(i)
+		got := ex.Explain(row, nil)
+		if got.FX != m.Predict(row) {
+			// FX is reconstructed leaf-by-leaf; allow rounding only.
+			if math.Abs(got.FX-m.Predict(row)) > 1e-9 {
+				t.Fatalf("row %d: FX %.10f vs Predict %.10f", i, got.FX, m.Predict(row))
+			}
+		}
+		if err := got.AdditivityError(); err > 1e-9 {
+			t.Fatalf("row %d: additivity error %v", i, err)
+		}
+		zero := make([]float64, x.Cols)
+		if base := m.Predict(zero); math.Abs(got.Base-base) > 1e-9 {
+			t.Fatalf("row %d: base %.10f vs f(0) %.10f", i, got.Base, base)
+		}
+	}
+}
+
+// TestTreeSHAPMatchesExactKernel is the cross-validation of the two exact
+// estimators: the closed-form TreeSHAP must agree with brute-force coalition
+// enumeration through the model-agnostic path.
+func TestTreeSHAPMatchesExactKernel(t *testing.T) {
+	m, x := trainSmallGBDT(t, 400, 5, 15, 2)
+	tree := NewTree(m)
+	kernelCfg := DefaultConfig()
+	kernelCfg.MaxExact = 12 // 5 features: always exact
+	kernel := New(m.PredictBatch, nil, kernelCfg)
+	for i := 0; i < x.Rows; i += 29 {
+		row := x.Row(i)
+		a := tree.Explain(row, nil)
+		b := kernel.Explain(row)
+		if !b.Exact {
+			t.Fatal("kernel path was not exact")
+		}
+		for j := range a.Phi {
+			if math.Abs(a.Phi[j]-b.Phi[j]) > 1e-8 {
+				t.Fatalf("row %d phi[%d]: tree %.10f vs kernel %.10f", i, j, a.Phi[j], b.Phi[j])
+			}
+		}
+	}
+}
+
+func TestTreeSHAPZeroFeaturesGetZero(t *testing.T) {
+	m, x := trainSmallGBDT(t, 500, 6, 20, 3)
+	ex := NewTree(m)
+	for i := 0; i < x.Rows; i += 17 {
+		row := x.Row(i)
+		got := ex.Explain(row, nil)
+		for j, v := range row {
+			if v == 0 && got.Phi[j] != 0 {
+				t.Fatalf("row %d: zero feature %d got phi %v", i, j, got.Phi[j])
+			}
+		}
+	}
+}
+
+func TestTreeSHAPNonZeroBackground(t *testing.T) {
+	m, x := trainSmallGBDT(t, 400, 4, 10, 4)
+	ex := NewTree(m)
+	bg := []float64{1, 2, 3, 4}
+	row := append([]float64(nil), x.Row(0)...)
+	row[2] = bg[2] // equals background -> zero phi
+	got := ex.Explain(row, bg)
+	if got.Phi[2] != 0 {
+		t.Errorf("feature at background value got phi %v", got.Phi[2])
+	}
+	if math.Abs(got.Base-m.Predict(bg)) > 1e-9 {
+		t.Errorf("base %v vs f(bg) %v", got.Base, m.Predict(bg))
+	}
+	if err := got.AdditivityError(); err > 1e-9 {
+		t.Errorf("additivity error %v", err)
+	}
+}
+
+func TestTreeSHAPPropertyVsKernel(t *testing.T) {
+	m, _ := trainSmallGBDT(t, 400, 5, 12, 5)
+	tree := NewTree(m)
+	kernel := New(m.PredictBatch, nil, DefaultConfig())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		row := make([]float64, 5)
+		for j := range row {
+			if rng.Float64() < 0.4 {
+				row[j] = 0
+			} else {
+				row[j] = rng.Float64() * 12 // includes values outside training
+			}
+		}
+		a := tree.Explain(row, nil)
+		b := kernel.Explain(row)
+		for j := range a.Phi {
+			if math.Abs(a.Phi[j]-b.Phi[j]) > 1e-8 {
+				return false
+			}
+		}
+		return a.AdditivityError() < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactRatio(t *testing.T) {
+	// a! b! / (a+b+1)!
+	cases := []struct {
+		a, b int
+		want float64
+	}{
+		{0, 0, 1},
+		{1, 0, 0.5},
+		{0, 1, 0.5},
+		{1, 1, 1.0 / 6},
+		{2, 1, 1.0 / 12},
+	}
+	for _, c := range cases {
+		if got := factRatio(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("factRatio(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func BenchmarkTreeSHAP(b *testing.B) {
+	m, x := trainSmallGBDT(b, 2000, 20, 60, 1)
+	ex := NewTree(m)
+	row := x.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.Explain(row, nil)
+	}
+}
+
+func BenchmarkKernelSHAPSameModel(b *testing.B) {
+	m, x := trainSmallGBDT(b, 2000, 20, 60, 1)
+	cfg := DefaultConfig()
+	cfg.NSamples = 2048
+	cfg.MaxExact = 2
+	ex := New(m.PredictBatch, nil, cfg)
+	row := x.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.Explain(row)
+	}
+}

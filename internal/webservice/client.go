@@ -1,0 +1,85 @@
+package webservice
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+)
+
+// Client talks to an AIIO web service.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for the given base URL (e.g.
+// "http://localhost:8080").
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+// Diagnose uploads a record as a text log and returns the diagnosis.
+func (c *Client) Diagnose(rec *darshan.Record) (*DiagnosisResponse, error) {
+	var body bytes.Buffer
+	if err := darshan.WriteLog(&body, rec); err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/api/v1/diagnose", "text/plain", &body)
+	if err != nil {
+		return nil, fmt.Errorf("webservice: diagnose request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out DiagnosisResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("webservice: decode diagnosis: %w", err)
+	}
+	return &out, nil
+}
+
+// Models lists the registered models.
+func (c *Client) Models() ([]ModelInfo, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/api/v1/models")
+	if err != nil {
+		return nil, fmt.Errorf("webservice: list models: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out []ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("webservice: decode models: %w", err)
+	}
+	return out, nil
+}
+
+// UploadModel registers a new pre-trained model from its gob serialization.
+func (c *Client) UploadModel(name, kind string, gobData io.Reader) error {
+	url := fmt.Sprintf("%s/api/v1/models?name=%s&kind=%s", c.BaseURL, name, kind)
+	resp, err := c.HTTP.Post(url, "application/octet-stream", gobData)
+	if err != nil {
+		return fmt.Errorf("webservice: upload model: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return nil
+}
+
+func decodeError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+		return fmt.Errorf("webservice: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("webservice: HTTP %d", resp.StatusCode)
+}

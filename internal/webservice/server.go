@@ -1,0 +1,207 @@
+// Package webservice puts AIIO into practice the way Section 3.4 / Fig. 17
+// describes: an HTTP service that loads pre-trained performance functions
+// from a model registry, accepts Darshan log uploads, and returns the merged
+// job-level diagnosis as JSON. The service can also accept new pre-trained
+// models at runtime, matching the paper's note that the web service "may
+// accept new models from users".
+package webservice
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"github.com/hpc-repro/aiio/internal/core"
+	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/tune"
+)
+
+// FactorJSON is one counter contribution in a response.
+type FactorJSON struct {
+	Counter      string  `json:"counter"`
+	Contribution float64 `json:"contribution"`
+	Value        float64 `json:"value"`
+}
+
+// ModelResult is one performance function's output for the job.
+type ModelResult struct {
+	Name           string  `json:"name"`
+	PredictedMiBps float64 `json:"predicted_mibps"`
+	Weight         float64 `json:"weight"`
+}
+
+// DiagnosisResponse is the JSON body of POST /api/v1/diagnose.
+type DiagnosisResponse struct {
+	App          string        `json:"app"`
+	ActualMiBps  float64       `json:"actual_mibps"`
+	Models       []ModelResult `json:"models"`
+	ClosestModel string        `json:"closest_model"`
+	// Factors are the merged (Average Method) contributions, by |impact|.
+	Factors []FactorJSON `json:"factors"`
+	// Bottlenecks are the negative factors, most negative first.
+	Bottlenecks []FactorJSON `json:"bottlenecks"`
+	Robust      bool         `json:"robust"`
+	// Recommendations are the tuning advisor's ranked suggestions with
+	// model-predicted gains.
+	Recommendations []RecommendationJSON `json:"recommendations,omitempty"`
+}
+
+// RecommendationJSON is one automatic tuning recommendation.
+type RecommendationJSON struct {
+	Action         string  `json:"action"`
+	Description    string  `json:"description"`
+	PredictedMiBps float64 `json:"predicted_mibps"`
+	PredictedGain  float64 `json:"predicted_gain"`
+}
+
+// ModelInfo describes one registered model.
+type ModelInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// Server is the AIIO web service.
+type Server struct {
+	mu   sync.RWMutex
+	ens  *core.Ensemble
+	opts core.DiagnoseOptions
+}
+
+// NewServer wraps a trained ensemble.
+func NewServer(ens *core.Ensemble, opts core.DiagnoseOptions) *Server {
+	return &Server{ens: ens, opts: opts}
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/diagnose", s.handleDiagnoseHTML)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/api/v1/models", s.handleModels)
+	mux.HandleFunc("/api/v1/diagnose", s.handleDiagnose)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		infos := make([]ModelInfo, 0, len(s.ens.Models))
+		for _, m := range s.ens.Models {
+			infos = append(infos, ModelInfo{Name: m.Name(), Kind: m.Kind()})
+		}
+		writeJSON(w, http.StatusOK, infos)
+	case http.MethodPost:
+		s.handleModelUpload(w, r)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
+}
+
+// handleModelUpload accepts a pre-trained model: ?name=...&kind=gbdt|mlp|tabnet
+// with the gob body. An existing model of the same name is replaced.
+func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	kind := r.URL.Query().Get("kind")
+	if name == "" || kind == "" {
+		httpError(w, http.StatusBadRequest, "name and kind query parameters required")
+		return
+	}
+	m, err := core.LoadModel(name, kind, io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decode model: %v", err))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	replaced := false
+	for i, existing := range s.ens.Models {
+		if existing.Name() == name {
+			s.ens.Models[i] = m
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		s.ens.Models = append(s.ens.Models, m)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "replaced": replaced})
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a Darshan text log")
+		return
+	}
+	rec, err := darshan.ParseLog(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("parse log: %v", err))
+		return
+	}
+	s.mu.RLock()
+	diag, err := s.ens.Diagnose(rec, s.opts)
+	var recs []tune.Recommendation
+	if err == nil {
+		recs, err = tune.New(s.ens).Advise(diag, 1.05)
+	}
+	s.mu.RUnlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Sprintf("diagnose: %v", err))
+		return
+	}
+	resp := buildResponse(diag)
+	for _, r := range recs {
+		resp.Recommendations = append(resp.Recommendations, RecommendationJSON{
+			Action:         r.Action,
+			Description:    r.Description,
+			PredictedMiBps: r.PredictedMiBps,
+			PredictedGain:  r.PredictedGain,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func buildResponse(diag *core.Diagnosis) *DiagnosisResponse {
+	resp := &DiagnosisResponse{
+		App:          diag.Record.App,
+		ActualMiBps:  diag.ActualMiBps,
+		ClosestModel: diag.PerModel[diag.ClosestIndex].Name,
+		Robust:       diag.IsRobust(),
+	}
+	for i, md := range diag.PerModel {
+		resp.Models = append(resp.Models, ModelResult{
+			Name:           md.Name,
+			PredictedMiBps: md.PredictedMiBps,
+			Weight:         diag.Weights[i],
+		})
+	}
+	for _, f := range diag.TopFactors(0) {
+		resp.Factors = append(resp.Factors, FactorJSON{
+			Counter: f.Counter.String(), Contribution: f.Contribution, Value: f.Value,
+		})
+	}
+	for _, f := range diag.Bottlenecks() {
+		resp.Bottlenecks = append(resp.Bottlenecks, FactorJSON{
+			Counter: f.Counter.String(), Contribution: f.Contribution, Value: f.Value,
+		})
+	}
+	return resp
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

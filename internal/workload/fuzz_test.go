@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseIORFlags ensures the flag parser never panics and that accepted
+// configurations are internally consistent.
+func FuzzParseIORFlags(f *testing.F) {
+	f.Add("ior -w -t 1k -b 1m -Y")
+	f.Add("ior -r -t 1k -b 1k -s 1024")
+	f.Add("ior -a POSIX -r -t 1k -b 1m -z")
+	f.Add("-w -k 1m -b 1m")
+	f.Add("ior -w -t")
+	f.Add("")
+	f.Add("ior -w -t 0k -b 1m")
+	f.Add("ior " + strings.Repeat("-z ", 50) + "-w -t 1k -b 1k")
+	f.Fuzz(func(t *testing.T, cmdline string) {
+		cfg, err := ParseIORFlags(cmdline)
+		if err != nil {
+			return
+		}
+		if !cfg.Write && !cfg.Read {
+			t.Fatal("accepted config with neither -w nor -r")
+		}
+		if cfg.TransferSize <= 0 || cfg.BlockSize <= 0 || cfg.Segments <= 0 {
+			t.Fatalf("accepted non-positive sizes: %+v", cfg)
+		}
+		if cfg.BlockSize%cfg.TransferSize != 0 {
+			t.Fatalf("accepted block %d not multiple of transfer %d",
+				cfg.BlockSize, cfg.TransferSize)
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package aiio
+
+import (
+	"github.com/hpc-repro/aiio/internal/iosim"
+	"github.com/hpc-repro/aiio/internal/workload"
+)
+
+// SimulateIOR runs an IOR command line (Table 3 syntax: -w/-r, -t, -b, -s,
+// -z, -Y, -F, -a POSIX) against the simulated parallel file system with
+// nprocs tasks and returns the Darshan record, including the Eq. 1
+// performance tag. It is how the examples and experiments produce "unseen"
+// job logs without a real machine; on a production system the record would
+// come from ParseLog on darshan-parser output.
+func SimulateIOR(cmdline string, nprocs int, seed int64) (*Record, error) {
+	cfg, err := workload.ParseIORFlags(cmdline)
+	if err != nil {
+		return nil, err
+	}
+	if nprocs > 0 {
+		cfg.NProcs = nprocs
+	}
+	rec, _ := cfg.Run("ior", seed, seed, iosim.DefaultParams())
+	return rec, nil
+}
+
+// SimulateIORTuned is SimulateIOR with the paper's IOR fix applied: seek
+// once before the first read instead of before every read (Section 4.1.2).
+func SimulateIORTuned(cmdline string, nprocs int, seed int64) (*Record, error) {
+	cfg, err := workload.ParseIORFlags(cmdline)
+	if err != nil {
+		return nil, err
+	}
+	if nprocs > 0 {
+		cfg.NProcs = nprocs
+	}
+	cfg.SeekPerRead = false
+	rec, _ := cfg.Run("ior", seed, seed, iosim.DefaultParams())
+	return rec, nil
+}
