@@ -2,21 +2,30 @@
 // it loads pre-trained performance functions from a model registry and
 // serves job-level diagnoses over HTTP.
 //
-//	aiio-server -models models/ -addr :8080
+//	aiio-server -models models/ -addr :8080 [-parallel N] [-drain 30s]
 //
 // Endpoints:
 //
-//	GET  /healthz             liveness
-//	GET  /api/v1/models       registered models
-//	POST /api/v1/models       upload a pre-trained model (?name=&kind=)
-//	POST /api/v1/diagnose     Darshan text log -> JSON diagnosis
+//	GET  /healthz                  liveness
+//	GET  /api/v1/models            registered models
+//	POST /api/v1/models            upload a pre-trained model (?name=&kind=)
+//	POST /api/v1/diagnose          Darshan text log -> JSON diagnosis
+//	POST /api/v1/diagnose/batch    stream of logs -> JSON diagnosis array
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight diagnoses for up to the -drain timeout before exiting, so a
+// redeploy never discards work already underway.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/hpc-repro/aiio/internal/core"
@@ -26,7 +35,9 @@ import (
 func main() {
 	modelsDir := flag.String("models", "models", "model registry directory")
 	addr := flag.String("addr", ":8080", "listen address")
-	interp := flag.String("interpreter", "shap", "shap or lime")
+	interp := flag.String("interpreter", "shap", "shap, treeshap or lime")
+	parallel := flag.Int("parallel", 0, "diagnosis worker pool size (0 = GOMAXPROCS)")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight diagnoses")
 	flag.Parse()
 
 	ens, err := core.LoadEnsemble(*modelsDir)
@@ -35,13 +46,34 @@ func main() {
 	}
 	opts := core.DefaultDiagnoseOptions()
 	opts.Interpreter = core.Interpreter(*interp)
+	opts.Parallelism = *parallel
 
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           webservice.NewServer(ens, opts).Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("aiio-server: %d models loaded from %s, listening on %s\n",
 		len(ens.Models), *modelsDir, *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("aiio-server: %v", err)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second signal kills hard
+		log.Printf("aiio-server: shutting down, draining for up to %s", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("aiio-server: drain incomplete: %v", err)
+		}
+	}
 }

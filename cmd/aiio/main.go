@@ -129,36 +129,49 @@ func cmdTrain(args []string) error {
 func cmdDiagnose(args []string) error {
 	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
 	modelsDir := fs.String("models", "models", "model registry directory")
-	logPath := fs.String("log", "", "Darshan text log to diagnose")
+	logPath := fs.String("log", "", "Darshan text log to diagnose (further logs may follow as positional arguments)")
 	top := fs.Int("top", 9, "factors to display")
 	interp := fs.String("interpreter", "shap", "shap, treeshap or lime")
+	parallel := fs.Int("parallel", 0, "diagnosis worker pool size (0 = GOMAXPROCS)")
 	advise := fs.Bool("advise", false, "print tuning recommendations with model-predicted gains")
 	withRules := fs.Bool("rules", false, "also print static-rule (Drishti-style) findings")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *logPath == "" {
+	paths := fs.Args()
+	if *logPath != "" {
+		paths = append([]string{*logPath}, paths...)
+	}
+	if len(paths) == 0 {
 		return fmt.Errorf("diagnose: -log is required")
 	}
 	ens, err := core.LoadEnsemble(*modelsDir)
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(*logPath)
-	if err != nil {
-		return err
-	}
-	rec, err := darshan.ParseLog(f)
-	f.Close()
-	if err != nil {
-		return err
+	recs := make([]*darshan.Record, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		recs[i], err = darshan.ParseLog(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("diagnose: %s: %w", p, err)
+		}
 	}
 	opts := core.DefaultDiagnoseOptions()
 	opts.Interpreter = core.Interpreter(*interp)
-	diag, err := ens.Diagnose(rec, opts)
+	opts.Parallelism = *parallel
+	if len(recs) > 1 {
+		return diagnoseBatch(ens, recs, paths, opts, *top)
+	}
+	diag, err := ens.Diagnose(recs[0], opts)
 	if err != nil {
 		return err
 	}
+	rec := recs[0]
 
 	report.KV(os.Stdout, "application", "%s", rec.App)
 	report.KV(os.Stdout, "measured performance", "%.2f MiB/s", diag.ActualMiBps)
@@ -193,6 +206,42 @@ func cmdDiagnose(args []string) error {
 		for _, f := range rules.Diagnose(rec) {
 			fmt.Printf("rule [%s] %s: %s\n", f.Severity, f.Rule, f.Detail)
 		}
+	}
+	return nil
+}
+
+// diagnoseBatch diagnoses several logs on the parallel engine and prints a
+// compact per-job summary: measured vs closest prediction and the top
+// bottleneck.
+func diagnoseBatch(ens *core.Ensemble, recs []*darshan.Record, paths []string,
+	opts core.DiagnoseOptions, top int) error {
+
+	diags, err := ens.DiagnoseBatch(recs, opts)
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, len(diags))
+	for i, d := range diags {
+		bottleneck := "-"
+		if b := d.Bottlenecks(); len(b) > 0 {
+			bottleneck = fmt.Sprintf("%s (%+.4f)", b[0].Counter, b[0].Contribution)
+		}
+		rows[i] = []string{
+			paths[i],
+			d.Record.App,
+			fmt.Sprintf("%.2f", d.ActualMiBps),
+			fmt.Sprintf("%.2f", d.Average.PredictedMiBps),
+			bottleneck,
+		}
+	}
+	report.Table(os.Stdout, []string{"Log", "App", "Measured MiB/s", "Predicted MiB/s", "Top bottleneck"}, rows)
+	for i, d := range diags {
+		fmt.Printf("\n-- %s --\n", paths[i])
+		bars := []report.Bar{}
+		for _, fct := range d.TopFactors(top) {
+			bars = append(bars, report.Bar{Label: fct.Counter.String(), Value: fct.Contribution})
+		}
+		report.HBars(os.Stdout, "merged diagnosis (Average Method):", bars, 28)
 	}
 	return nil
 }

@@ -20,8 +20,9 @@ var (
 	fixtureErr    error
 )
 
-// fixture trains a small but real five-model ensemble once for all tests.
-func fixture(t *testing.T) (*features.Frame, *Ensemble, *TrainReport) {
+// fixture trains a small but real five-model ensemble once for all tests
+// and benchmarks.
+func fixture(t testing.TB) (*features.Frame, *Ensemble, *TrainReport) {
 	t.Helper()
 	fixtureOnce.Do(func() {
 		ds := logdb.Generate(logdb.GenConfig{Jobs: 900, Seed: 11})
@@ -45,7 +46,7 @@ func fastDiagOpts() DiagnoseOptions {
 
 // slowJob simulates the paper's pattern 1 (small synced writes) at reduced
 // scale: the canonical "bad" job.
-func slowJob(t *testing.T) *darshan.Record {
+func slowJob(t testing.TB) *darshan.Record {
 	t.Helper()
 	params := iosim.DefaultParams()
 	params.NoiseSigma = 0

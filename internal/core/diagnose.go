@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"github.com/hpc-repro/aiio/internal/darshan"
 	"github.com/hpc-repro/aiio/internal/features"
 	"github.com/hpc-repro/aiio/internal/lime"
+	"github.com/hpc-repro/aiio/internal/parallel"
 	"github.com/hpc-repro/aiio/internal/shap"
 )
 
@@ -36,6 +38,13 @@ type DiagnoseOptions struct {
 	Interpreter Interpreter
 	SHAP        shap.Config
 	LIME        lime.Config
+	// Parallelism bounds the diagnosis worker pool: the concurrent
+	// per-model explanations inside Diagnose and the per-job workers of
+	// DiagnoseBatch. 0 (the default) means runtime.GOMAXPROCS(0); 1 forces
+	// the sequential path. The output is bitwise-identical at every
+	// setting: each model's explainer is independently seeded and the
+	// Eq. 6/7 merges always reduce in model order.
+	Parallelism int
 }
 
 // DefaultDiagnoseOptions uses Kernel SHAP with its defaults, as the paper
@@ -95,6 +104,11 @@ func (e *Ensemble) Diagnose(rec *darshan.Record, opts DiagnoseOptions) (*Diagnos
 	if opts.Interpreter == "" {
 		opts.Interpreter = InterpreterSHAP
 	}
+	switch opts.Interpreter {
+	case InterpreterSHAP, InterpreterTreeSHAP, InterpreterLIME:
+	default:
+		return nil, fmt.Errorf("core: unknown interpreter %q", opts.Interpreter)
+	}
 	x := features.TransformRecord(rec)
 	d := &Diagnosis{
 		Record:      rec,
@@ -102,36 +116,14 @@ func (e *Ensemble) Diagnose(rec *darshan.Record, opts DiagnoseOptions) (*Diagnos
 		ActualMiBps: rec.PerfMiBps,
 	}
 
-	for _, m := range e.Models {
-		md := ModelDiagnosis{Name: m.Name()}
-		switch opts.Interpreter {
-		case InterpreterSHAP, InterpreterTreeSHAP:
-			var ex shap.Explanation
-			if gm, ok := TreeModel(m); ok && opts.Interpreter == InterpreterTreeSHAP {
-				ex = shap.NewTree(gm).Explain(x, nil)
-			} else {
-				ex = shap.New(m.PredictBatch, nil, opts.SHAP).Explain(x)
-			}
-			md.Predicted = ex.FX
-			md.Base = ex.Base
-			md.Contributions = ex.Phi
-			md.AdditivityErr = ex.AdditivityError()
-		case InterpreterLIME:
-			ex := lime.New(m.PredictBatch, nil, opts.LIME).Explain(x)
-			md.Predicted = ex.FX
-			md.Base = ex.Intercept
-			md.Contributions = ex.Phi
-			sum := ex.Intercept
-			for _, p := range ex.Phi {
-				sum += p
-			}
-			md.AdditivityErr = math.Abs(sum - ex.FX)
-		default:
-			return nil, fmt.Errorf("core: unknown interpreter %q", opts.Interpreter)
-		}
-		md.PredictedMiBps = features.Inverse(md.Predicted)
-		d.PerModel = append(d.PerModel, md)
-	}
+	// Each model's explanation is independent until the Eq. 6/7 merges, so
+	// they run on a bounded worker pool. Worker i owns slot i of PerModel,
+	// which keeps the assembled slice — and everything merged from it —
+	// identical to the sequential order.
+	d.PerModel = make([]ModelDiagnosis, len(e.Models))
+	parallel.Each(len(e.Models), opts.Parallelism, func(i int) {
+		d.PerModel[i] = diagnoseModel(e.Models[i], x, opts)
+	})
 
 	d.ClosestIndex = closestModel(d.PerModel, d.Actual)
 	d.Weights = averageWeights(d.PerModel, d.Actual)
@@ -155,6 +147,69 @@ func (e *Ensemble) Diagnose(rec *darshan.Record, opts DiagnoseOptions) (*Diagnos
 	avg.PredictedMiBps = features.Inverse(avg.Predicted)
 	d.Average = avg
 	return d, nil
+}
+
+// diagnoseModel runs one performance function's diagnosis function on the
+// transformed counter vector x. The interpreter has been validated by the
+// caller.
+func diagnoseModel(m Model, x []float64, opts DiagnoseOptions) ModelDiagnosis {
+	md := ModelDiagnosis{Name: m.Name()}
+	switch opts.Interpreter {
+	case InterpreterSHAP, InterpreterTreeSHAP:
+		var ex shap.Explanation
+		if gm, ok := TreeModel(m); ok && opts.Interpreter == InterpreterTreeSHAP {
+			ex = shap.NewTree(gm).Explain(x, nil)
+		} else {
+			ex = shap.New(m.PredictBatch, nil, opts.SHAP).Explain(x)
+		}
+		md.Predicted = ex.FX
+		md.Base = ex.Base
+		md.Contributions = ex.Phi
+		md.AdditivityErr = ex.AdditivityError()
+	case InterpreterLIME:
+		ex := lime.New(m.PredictBatch, nil, opts.LIME).Explain(x)
+		md.Predicted = ex.FX
+		md.Base = ex.Intercept
+		md.Contributions = ex.Phi
+		sum := ex.Intercept
+		for _, p := range ex.Phi {
+			sum += p
+		}
+		md.AdditivityErr = math.Abs(sum - ex.FX)
+	}
+	md.PredictedMiBps = features.Inverse(md.Predicted)
+	return md
+}
+
+// DiagnoseBatch diagnoses every record on a bounded worker pool of
+// opts.Parallelism workers (0 means runtime.GOMAXPROCS(0)). Jobs are the
+// unit of parallelism; when there are fewer jobs than workers, the surplus
+// is handed down as per-model concurrency inside each job, so small batches
+// still use the machine. Output order matches recs and every diagnosis is
+// bitwise-identical to a standalone Diagnose call with the same options.
+func (e *Ensemble) DiagnoseBatch(recs []*darshan.Record, opts DiagnoseOptions) ([]*Diagnosis, error) {
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	total := opts.Parallelism
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	workers := parallel.Workers(total, len(recs))
+	jobOpts := opts
+	jobOpts.Parallelism = (total + workers - 1) / workers
+
+	out := make([]*Diagnosis, len(recs))
+	errs := make([]error, len(recs))
+	parallel.Each(len(recs), workers, func(i int) {
+		out[i], errs[i] = e.Diagnose(recs[i], jobOpts)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: diagnose job %d: %w", i, err)
+		}
+	}
+	return out, nil
 }
 
 // closestModel implements Eq. 6.

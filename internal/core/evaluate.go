@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
+	"github.com/hpc-repro/aiio/internal/darshan"
 	"github.com/hpc-repro/aiio/internal/features"
 )
 
@@ -52,42 +51,20 @@ func EvaluateTable2(e *Ensemble, eval *features.Frame, maxJobs int, opts Diagnos
 		idx = idx[:maxJobs]
 	}
 
-	type jobResult struct {
-		diag *Diagnosis
-		err  error
+	recs := make([]*darshan.Record, len(idx))
+	for k, id := range idx {
+		recs[k] = eval.Records[id]
 	}
-	results := make([]jobResult, len(idx))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(idx) {
-		workers = len(idx)
+	diags, err := e.DiagnoseBatch(recs, opts)
+	if err != nil {
+		return nil, err
 	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for k := range work {
-				diag, err := e.Diagnose(eval.Records[idx[k]], opts)
-				results[k] = jobResult{diag, err}
-			}
-		}()
-	}
-	for k := range idx {
-		work <- k
-	}
-	close(work)
-	wg.Wait()
 
 	predSq := make([]float64, len(e.Models))
 	diagSq := make([]float64, len(e.Models))
 	var closestPredSq, closestDiagSq, avgPredSq, avgDiagSq float64
 
-	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
-		}
-		d := r.diag
+	for _, d := range diags {
 		for mi := range d.PerModel {
 			md := &d.PerModel[mi]
 			pe := md.Predicted - d.Actual

@@ -127,6 +127,16 @@ func (e *Env) diagnose(rec *darshan.Record) (*core.Diagnosis, error) {
 	return ens.Diagnose(rec, e.DiagOpts)
 }
 
+// diagnoseBatch diagnoses many records on the engine's bounded worker pool
+// (the experiments leave DiagOpts.Parallelism at 0 = GOMAXPROCS).
+func (e *Env) diagnoseBatch(recs []*darshan.Record) ([]*core.Diagnosis, error) {
+	ens, _, err := e.Ensemble()
+	if err != nil {
+		return nil, err
+	}
+	return ens.DiagnoseBatch(recs, e.DiagOpts)
+}
+
 // factorNames renders the first n factors as "NAME (+/-value)" strings.
 func factorNames(fs []core.Factor, n int) []string {
 	if n > 0 && len(fs) > n {

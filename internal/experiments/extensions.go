@@ -62,12 +62,16 @@ func RunExtensionClassification(e *Env, w io.Writer) (*ClassificationResult, err
 	if err != nil {
 		return nil, err
 	}
+	n := aiioN
+	if n > test.Frame.Len() {
+		n = test.Frame.Len()
+	}
+	diags, err := ens.DiagnoseBatch(test.Frame.Records[:n], e.DiagOpts)
+	if err != nil {
+		return nil, err
+	}
 	agree := 0
-	for i := 0; i < aiioN && i < test.Frame.Len(); i++ {
-		diag, err := ens.Diagnose(test.Frame.Records[i], e.DiagOpts)
-		if err != nil {
-			return nil, err
-		}
+	for i, diag := range diags {
 		got := classify.ClassNone
 		if b := diag.Bottlenecks(); len(b) > 0 {
 			got = classify.ClassOfCounter(b[0].Counter)

@@ -40,15 +40,11 @@ func (e *Env) runApp(w io.Writer, name, figure, tuning string,
 	if res.UntunedMiBps > 0 {
 		res.Speedup = res.TunedMiBps / res.UntunedMiBps
 	}
-	var err error
-	res.UntunedDiag, err = e.diagnose(rec)
+	diags, err := e.diagnoseBatch([]*darshan.Record{rec, trec})
 	if err != nil {
 		return nil, err
 	}
-	res.TunedDiag, err = e.diagnose(trec)
-	if err != nil {
-		return nil, err
-	}
+	res.UntunedDiag, res.TunedDiag = diags[0], diags[1]
 	bottlenecks := res.UntunedDiag.Bottlenecks()
 	res.ExpectedFlagged = false
 	for _, id := range expected {

@@ -67,15 +67,11 @@ func RunPattern(e *Env, w io.Writer, id int) (*PatternResult, error) {
 		res.Speedup = res.TunedMiBps / res.UntunedMiBps
 	}
 
-	var err error
-	res.UntunedDiag, err = e.diagnose(rec)
+	diags, err := e.diagnoseBatch([]*darshan.Record{rec, trec})
 	if err != nil {
 		return nil, err
 	}
-	res.TunedDiag, err = e.diagnose(trec)
-	if err != nil {
-		return nil, err
-	}
+	res.UntunedDiag, res.TunedDiag = diags[0], diags[1]
 
 	bottlenecks := res.UntunedDiag.Bottlenecks()
 	for _, cid := range pat.ExpectedBottlenecks {

@@ -6,11 +6,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"github.com/hpc-repro/aiio/internal/linalg"
+	"github.com/hpc-repro/aiio/internal/parallel"
 )
 
 // Variant selects the tree-growth strategy.
@@ -142,30 +141,14 @@ func (m *Model) PredictBatch(x *linalg.Matrix) []float64 {
 	return out
 }
 
-// parallelFor splits [0, n) across GOMAXPROCS workers.
+// parallelFor splits [0, n) across the shared bounded worker pool; small
+// batches stay sequential because the per-row work is a few tree walks.
 func parallelFor(n int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n < 256 {
+	if n < 256 {
 		fn(0, n)
 		return
 	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallel.For(n, 0, fn)
 }
 
 // trainer carries the per-fit state.

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"github.com/hpc-repro/aiio/internal/linalg"
+	"github.com/hpc-repro/aiio/internal/parallel"
 )
 
 // Config holds the architecture and optimizer settings. The default Hidden
@@ -558,9 +559,26 @@ func (m *Model) Predict(x []float64) float64 {
 	return m.predictStandardized(xs)[0]
 }
 
-// PredictBatch predicts every row of x.
+// predictParallelMinRows is the batch size below which sharding a forward
+// pass across cores costs more than the dense products it saves.
+const predictParallelMinRows = 64
+
+// PredictBatch predicts every row of x, sharding large batches (SHAP
+// coalition matrices, evaluation frames) across the bounded worker pool.
+// Rows are independent at inference time (batch norm uses running
+// statistics), so the sharded result is bitwise-identical to a sequential
+// pass.
 func (m *Model) PredictBatch(x *linalg.Matrix) []float64 {
-	return m.predictStandardized(m.standardize(x))
+	xs := m.standardize(x)
+	if xs.Rows < predictParallelMinRows {
+		return m.predictStandardized(xs)
+	}
+	out := make([]float64, xs.Rows)
+	parallel.For(xs.Rows, 0, func(lo, hi int) {
+		sub := &linalg.Matrix{Rows: hi - lo, Cols: xs.Cols, Data: xs.Data[lo*xs.Cols : hi*xs.Cols]}
+		copy(out[lo:hi], m.predictStandardized(sub))
+	})
+	return out
 }
 
 // cloneWeights snapshots the learned tensors (for early-stopping restore).

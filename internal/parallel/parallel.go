@@ -1,0 +1,96 @@
+// Package parallel provides the bounded worker pools shared by the model
+// backends (batch-prediction sharding) and the diagnosis engine (per-model
+// and per-job fan-out). The helpers keep the calling goroutine working,
+// never spawn more goroutines than there is work, and keep results
+// deterministic: a worker writes only to the index or chunk it owns, so the
+// caller's reduction order never depends on scheduling.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a parallelism knob: requested <= 0 means
+// runtime.GOMAXPROCS(0), and the result is clamped to [1, n] so a pool is
+// never larger than its work list.
+func Workers(requested, n int) int {
+	if requested <= 0 {
+		requested = runtime.GOMAXPROCS(0)
+	}
+	if requested > n {
+		requested = n
+	}
+	if requested < 1 {
+		requested = 1
+	}
+	return requested
+}
+
+// For splits [0, n) into one contiguous chunk per worker and runs fn on
+// every chunk, using the calling goroutine for the first chunk. fn must
+// only touch state owned by its [lo, hi) range. workers <= 0 means
+// GOMAXPROCS.
+func For(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := chunk; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	fn(0, chunk)
+	wg.Wait()
+}
+
+// Each runs fn(i) for every i in [0, n) on a bounded pool with dynamic load
+// balancing: workers pull the next free index, which suits unevenly sized
+// jobs such as per-model SHAP explanations. fn must only touch state owned
+// by index i. workers <= 0 means GOMAXPROCS.
+func Each(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	drain := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			drain()
+		}()
+	}
+	drain()
+	wg.Wait()
+}

@@ -1,0 +1,87 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersClamping(t *testing.T) {
+	cases := []struct {
+		requested, n, min, max int
+	}{
+		{0, 100, 1, 100}, // GOMAXPROCS default, clamped to n
+		{-3, 5, 1, 5},
+		{4, 2, 2, 2}, // never more workers than work
+		{1, 100, 1, 1},
+		{8, 0, 1, 1}, // empty work still yields a valid pool size
+	}
+	for _, c := range cases {
+		got := Workers(c.requested, c.n)
+		if got < c.min || got > c.max {
+			t.Errorf("Workers(%d, %d) = %d, want in [%d, %d]",
+				c.requested, c.n, got, c.min, c.max)
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 64} {
+		for _, n := range []int{0, 1, 2, 5, 100, 1000} {
+			hits := make([]int32, n)
+			For(n, workers, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Fatalf("For(%d, %d): bad range [%d, %d)", n, workers, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("For(%d, %d): index %d visited %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 64} {
+		for _, n := range []int{0, 1, 2, 5, 100, 1000} {
+			hits := make([]int32, n)
+			Each(n, workers, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("Each(%d, %d): index %d visited %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForDeterministicChunkOwnership(t *testing.T) {
+	// Workers write to disjoint ranges, so the assembled result must be
+	// identical across pool sizes.
+	const n = 513
+	want := make([]int, n)
+	For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			want[i] = i * i
+		}
+	})
+	for _, workers := range []int{2, 5, 16} {
+		got := make([]int, n)
+		For(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				got[i] = i * i
+			}
+		})
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: index %d differs", workers, i)
+			}
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"github.com/hpc-repro/aiio/internal/linalg"
+	"github.com/hpc-repro/aiio/internal/parallel"
 )
 
 // Config holds the architecture and optimizer settings.
@@ -565,11 +566,26 @@ func (m *Model) standardizeMatrix(x *linalg.Matrix) *linalg.Matrix {
 	return out
 }
 
+// predictParallelMinRows is the batch size below which the per-row forward
+// passes are too few to amortize worker startup.
+const predictParallelMinRows = 8
+
+// predictStandardized runs the per-row forward passes on the bounded worker
+// pool for large batches (SHAP coalition matrices). forwardSample reads
+// only frozen weights and allocates its own state, and each worker owns a
+// disjoint row range, so the result is bitwise-identical to a sequential
+// pass.
 func (m *Model) predictStandardized(xs *linalg.Matrix) []float64 {
 	out := make([]float64, xs.Rows)
-	for i := 0; i < xs.Rows; i++ {
-		out[i] = m.forwardSample(xs.Row(i), nil)*m.YStd + m.YMean
+	workers := 0
+	if xs.Rows < predictParallelMinRows {
+		workers = 1
 	}
+	parallel.For(xs.Rows, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = m.forwardSample(xs.Row(i), nil)*m.YStd + m.YMean
+		}
+	})
 	return out
 }
 

@@ -43,6 +43,29 @@ func (c *Client) Diagnose(rec *darshan.Record) (*DiagnosisResponse, error) {
 	return &out, nil
 }
 
+// DiagnoseBatch uploads several records as one WriteDataset stream and
+// returns their diagnoses in input order (no tuning recommendations; the
+// single-job Diagnose provides those).
+func (c *Client) DiagnoseBatch(recs []*darshan.Record) ([]*DiagnosisResponse, error) {
+	var body bytes.Buffer
+	if err := darshan.WriteDataset(&body, &darshan.Dataset{Records: recs}); err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/api/v1/diagnose/batch", "text/plain", &body)
+	if err != nil {
+		return nil, fmt.Errorf("webservice: batch diagnose request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out []*DiagnosisResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("webservice: decode batch diagnosis: %w", err)
+	}
+	return out, nil
+}
+
 // Models lists the registered models.
 func (c *Client) Models() ([]ModelInfo, error) {
 	resp, err := c.HTTP.Get(c.BaseURL + "/api/v1/models")

@@ -104,9 +104,10 @@ func (s *Server) handleDiagnoseHTML(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "parse log: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.mu.RLock()
-	diag, err := s.ens.Diagnose(rec, s.opts)
-	s.mu.RUnlock()
+	// Same lock-free snapshot discipline as the JSON endpoint: never hold
+	// s.mu across the SHAP computation.
+	ens, opts := s.snapshot()
+	diag, err := ens.Diagnose(rec, opts)
 	if err != nil {
 		http.Error(w, "diagnose: "+err.Error(), http.StatusInternalServerError)
 		return

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sync"
 
@@ -46,6 +47,9 @@ type DiagnosisResponse struct {
 	// Recommendations are the tuning advisor's ranked suggestions with
 	// model-predicted gains.
 	Recommendations []RecommendationJSON `json:"recommendations,omitempty"`
+	// AdvisoryError is set when the diagnosis succeeded but the tuning
+	// advisor failed; the diagnosis above is still complete and valid.
+	AdvisoryError string `json:"advisory_error,omitempty"`
 }
 
 // RecommendationJSON is one automatic tuning recommendation.
@@ -67,11 +71,33 @@ type Server struct {
 	mu   sync.RWMutex
 	ens  *core.Ensemble
 	opts core.DiagnoseOptions
+	// advise produces tuning recommendations for a finished diagnosis; a
+	// field so tests can inject failures. An advise error never fails the
+	// diagnosis — it degrades to AdvisoryError in the response.
+	advise func(*core.Ensemble, *core.Diagnosis) ([]tune.Recommendation, error)
 }
 
 // NewServer wraps a trained ensemble.
 func NewServer(ens *core.Ensemble, opts core.DiagnoseOptions) *Server {
-	return &Server{ens: ens, opts: opts}
+	return &Server{
+		ens:  ens,
+		opts: opts,
+		advise: func(e *core.Ensemble, d *core.Diagnosis) ([]tune.Recommendation, error) {
+			return tune.New(e).Advise(d, 1.05)
+		},
+	}
+}
+
+// snapshot returns the current model set and options without holding any
+// lock during the (multi-second) diagnosis that follows: the Models slice
+// is copied under a read lock and a concurrent upload swaps in a new slice
+// element rather than mutating a model in place, so diagnoses in flight
+// keep working against the set they started with.
+func (s *Server) snapshot() (*core.Ensemble, core.DiagnoseOptions) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	models := append([]core.Model(nil), s.ens.Models...)
+	return &core.Ensemble{Models: models}, s.opts
 }
 
 // Handler returns the HTTP routes.
@@ -82,6 +108,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/api/v1/models", s.handleModels)
 	mux.HandleFunc("/api/v1/diagnose", s.handleDiagnose)
+	mux.HandleFunc("/api/v1/diagnose/batch", s.handleDiagnoseBatch)
 	return mux
 }
 
@@ -120,6 +147,10 @@ func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("decode model: %v", err))
 		return
 	}
+	if err := probeModel(m); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("model failed validation: %v", err))
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	replaced := false
@@ -136,6 +167,31 @@ func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"name": name, "replaced": replaced})
 }
 
+// probeModel rejects an uploaded model whose feature dimension does not
+// match the 45-counter schema before it can reach a diagnosis: a
+// wrongly-dimensioned model panics (slice bounds) or returns a non-finite
+// value when evaluated, so it is exercised here on a probe vector, inside
+// a recover, instead of inside a live request.
+func probeModel(m core.Model) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("probe prediction panicked (feature dimension mismatch with the %d-counter schema?): %v",
+				darshan.NumCounters, r)
+		}
+	}()
+	probe := make([]float64, darshan.NumCounters)
+	for j := range probe {
+		// Non-zero, varied values so dimension-dependent code paths
+		// (standardization, tree splits on any counter) are exercised.
+		probe[j] = float64(j%7) + 0.5
+	}
+	v := m.Predict(probe)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("probe prediction is %v", v)
+	}
+	return nil
+}
+
 func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST a Darshan text log")
@@ -146,18 +202,21 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("parse log: %v", err))
 		return
 	}
-	s.mu.RLock()
-	diag, err := s.ens.Diagnose(rec, s.opts)
-	var recs []tune.Recommendation
-	if err == nil {
-		recs, err = tune.New(s.ens).Advise(diag, 1.05)
-	}
-	s.mu.RUnlock()
+	// Diagnose against a lock-free snapshot so a concurrent model upload
+	// (write lock) never stalls behind, or waits on, in-flight SHAP work.
+	ens, opts := s.snapshot()
+	diag, err := ens.Diagnose(rec, opts)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, fmt.Sprintf("diagnose: %v", err))
 		return
 	}
 	resp := buildResponse(diag)
+	// The advisor is best-effort: a failure degrades to an advisory-error
+	// field instead of discarding the successful diagnosis.
+	recs, advErr := s.advise(ens, diag)
+	if advErr != nil {
+		resp.AdvisoryError = advErr.Error()
+	}
 	for _, r := range recs {
 		resp.Recommendations = append(resp.Recommendations, RecommendationJSON{
 			Action:         r.Action,
@@ -167,6 +226,37 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDiagnoseBatch accepts a WriteDataset-format stream of several logs
+// and diagnoses them on the parallel engine (Ensemble.DiagnoseBatch),
+// returning one response per record in input order. Recommendations are
+// omitted in batch mode; the single-job endpoint provides them.
+func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a stream of Darshan text logs")
+		return
+	}
+	ds, err := darshan.ParseDataset(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("parse logs: %v", err))
+		return
+	}
+	if ds.Len() == 0 {
+		httpError(w, http.StatusBadRequest, "no records in request body")
+		return
+	}
+	ens, opts := s.snapshot()
+	diags, err := ens.DiagnoseBatch(ds.Records, opts)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, fmt.Sprintf("diagnose: %v", err))
+		return
+	}
+	resps := make([]*DiagnosisResponse, len(diags))
+	for i, diag := range diags {
+		resps[i] = buildResponse(diag)
+	}
+	writeJSON(w, http.StatusOK, resps)
 }
 
 func buildResponse(diag *core.Diagnosis) *DiagnosisResponse {
