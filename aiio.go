@@ -18,6 +18,7 @@
 package aiio
 
 import (
+	"context"
 	"io"
 
 	"github.com/hpc-repro/aiio/internal/core"
@@ -52,6 +53,8 @@ type (
 	DiagnoseOptions = core.DiagnoseOptions
 	// DatabaseConfig configures synthetic log-database generation.
 	DatabaseConfig = logdb.GenConfig
+	// RecordError describes one record quarantined by ParseDatasetLenient.
+	RecordError = darshan.RecordError
 	// Recommendation is one automatic tuning suggestion with its
 	// model-predicted gain.
 	Recommendation = tune.Recommendation
@@ -104,8 +107,28 @@ func ParseLog(r io.Reader) (*Record, error) { return darshan.ParseLog(r) }
 // WriteLog writes a record in the Darshan text log format.
 func WriteLog(w io.Writer, rec *Record) error { return darshan.WriteLog(w, rec) }
 
-// ParseDataset reads a multi-record log stream.
+// ParseDataset reads a multi-record log stream, aborting on the first
+// malformed record.
 func ParseDataset(r io.Reader) (*Dataset, error) { return darshan.ParseDataset(r) }
+
+// ParseDatasetLenient reads a multi-record log stream, quarantining
+// malformed or out-of-range records (NaN/Inf/negative counters) instead of
+// aborting. Use it for real-world log corpora where one corrupt job must
+// not discard the rest.
+func ParseDatasetLenient(r io.Reader) (*Dataset, []RecordError, error) {
+	return darshan.ParseDatasetLenient(r)
+}
+
+// QuarantineSummary renders a one-line account of a lenient parse.
+func QuarantineSummary(accepted int, quarantine []RecordError) string {
+	return darshan.QuarantineSummary(accepted, quarantine)
+}
+
+// TrainContext is Train with cooperative cancellation: ctx is checked
+// between model fits.
+func TrainContext(ctx context.Context, frame *Frame, opts TrainOptions) (*Ensemble, *TrainReport, error) {
+	return core.TrainEnsembleContext(ctx, frame, opts)
+}
 
 // WriteDataset writes a whole dataset as one log stream.
 func WriteDataset(w io.Writer, ds *Dataset) error { return darshan.WriteDataset(w, ds) }

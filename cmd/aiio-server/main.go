@@ -3,6 +3,7 @@
 // serves job-level diagnoses over HTTP.
 //
 //	aiio-server -models models/ -addr :8080 [-parallel N] [-drain 30s]
+//	            [-request-timeout 2m] [-max-body 16777216]
 //
 // Endpoints:
 //
@@ -38,6 +39,10 @@ func main() {
 	interp := flag.String("interpreter", "shap", "shap, treeshap or lime")
 	parallel := flag.Int("parallel", 0, "diagnosis worker pool size (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight diagnoses")
+	requestTimeout := flag.Duration("request-timeout", 2*time.Minute,
+		"per-request diagnosis deadline; expired requests get a structured 503 (0 = none)")
+	maxBody := flag.Int64("max-body", webservice.DefaultMaxBody,
+		"request body cap in bytes for a single log; batch and model uploads get 4x (oversized = 413)")
 	flag.Parse()
 
 	ens, err := core.LoadEnsemble(*modelsDir)
@@ -48,9 +53,12 @@ func main() {
 	opts.Interpreter = core.Interpreter(*interp)
 	opts.Parallelism = *parallel
 
+	ws := webservice.NewServer(ens, opts)
+	ws.RequestTimeout = *requestTimeout
+	ws.MaxBody = *maxBody
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           webservice.NewServer(ens, opts).Handler(),
+		Handler:           ws.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

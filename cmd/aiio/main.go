@@ -1,8 +1,8 @@
 // Command aiio is the command-line interface to the AIIO reproduction:
 //
 //	aiio gen-db    -jobs 3000 -seed 1 -o db.darshan
-//	aiio train     -db db.darshan -models models/ [-fast]
-//	aiio diagnose  -models models/ -log job.darshan [-top 9] [-interpreter shap|lime]
+//	aiio train     -db db.darshan -models models/ [-fast] [-lenient]
+//	aiio diagnose  -models models/ -log job.darshan [-top 9] [-interpreter shap|lime] [-timeout 30s]
 //	aiio experiment -id all [-fast] (table1|table2|table3|fig1|fig4..fig17)
 //
 // gen-db simulates the historical I/O log database, train fits the five
@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -84,13 +85,26 @@ func cmdGenDB(args []string) error {
 	return nil
 }
 
-func loadDB(path string) (*darshan.Dataset, error) {
+// loadDB reads a log database. With lenient set, malformed or out-of-range
+// records are quarantined (and summarized on stderr) instead of aborting
+// the load.
+func loadDB(path string, lenient bool) (*darshan.Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return darshan.ParseDataset(f)
+	if !lenient {
+		return darshan.ParseDataset(f)
+	}
+	ds, quarantine, err := darshan.ParseDatasetLenient(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(quarantine) > 0 {
+		report.Warn(os.Stderr, "%s: %s", path, darshan.QuarantineSummary(ds.Len(), quarantine))
+	}
+	return ds, nil
 }
 
 func cmdTrain(args []string) error {
@@ -99,10 +113,11 @@ func cmdTrain(args []string) error {
 	modelsDir := fs.String("models", "models", "model registry directory")
 	fast := fs.Bool("fast", false, "reduced training budgets")
 	seed := fs.Int64("seed", 1, "random seed")
+	lenient := fs.Bool("lenient", false, "quarantine corrupt records instead of aborting the load")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ds, err := loadDB(*db)
+	ds, err := loadDB(*db, *lenient)
 	if err != nil {
 		return err
 	}
@@ -135,6 +150,7 @@ func cmdDiagnose(args []string) error {
 	parallel := fs.Int("parallel", 0, "diagnosis worker pool size (0 = GOMAXPROCS)")
 	advise := fs.Bool("advise", false, "print tuning recommendations with model-predicted gains")
 	withRules := fs.Bool("rules", false, "also print static-rule (Drishti-style) findings")
+	timeout := fs.Duration("timeout", 0, "abort the diagnosis after this long (0 = no deadline)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -164,16 +180,23 @@ func cmdDiagnose(args []string) error {
 	opts := core.DefaultDiagnoseOptions()
 	opts.Interpreter = core.Interpreter(*interp)
 	opts.Parallelism = *parallel
-	if len(recs) > 1 {
-		return diagnoseBatch(ens, recs, paths, opts, *top)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	diag, err := ens.Diagnose(recs[0], opts)
+	if len(recs) > 1 {
+		return diagnoseBatch(ctx, ens, recs, paths, opts, *top)
+	}
+	diag, err := ens.DiagnoseContext(ctx, recs[0], opts)
 	if err != nil {
 		return err
 	}
 	rec := recs[0]
 
 	report.KV(os.Stdout, "application", "%s", rec.App)
+	warnDegraded(diag)
 	report.KV(os.Stdout, "measured performance", "%.2f MiB/s", diag.ActualMiBps)
 	report.KV(os.Stdout, "closest model", "%s (%.2f MiB/s)",
 		diag.PerModel[diag.ClosestIndex].Name, diag.PerModel[diag.ClosestIndex].PredictedMiBps)
@@ -210,13 +233,29 @@ func cmdDiagnose(args []string) error {
 	return nil
 }
 
+// warnDegraded surfaces a degraded diagnosis: which models failed and why,
+// so a merged result over a surviving subset is never mistaken for a full
+// five-model consensus.
+func warnDegraded(d *core.Diagnosis) {
+	if !d.Degraded {
+		return
+	}
+	report.Warn(os.Stdout, "degraded diagnosis: %d of %d models failed; merged over the survivors",
+		len(d.SkippedModels()), len(d.PerModel))
+	for _, md := range d.PerModel {
+		if md.Failed() {
+			report.Warn(os.Stdout, "  %s: %s", md.Name, md.Err)
+		}
+	}
+}
+
 // diagnoseBatch diagnoses several logs on the parallel engine and prints a
 // compact per-job summary: measured vs closest prediction and the top
 // bottleneck.
-func diagnoseBatch(ens *core.Ensemble, recs []*darshan.Record, paths []string,
+func diagnoseBatch(ctx context.Context, ens *core.Ensemble, recs []*darshan.Record, paths []string,
 	opts core.DiagnoseOptions, top int) error {
 
-	diags, err := ens.DiagnoseBatch(recs, opts)
+	diags, err := ens.DiagnoseBatchContext(ctx, recs, opts)
 	if err != nil {
 		return err
 	}
@@ -237,6 +276,7 @@ func diagnoseBatch(ens *core.Ensemble, recs []*darshan.Record, paths []string,
 	report.Table(os.Stdout, []string{"Log", "App", "Measured MiB/s", "Predicted MiB/s", "Top bottleneck"}, rows)
 	for i, d := range diags {
 		fmt.Printf("\n-- %s --\n", paths[i])
+		warnDegraded(d)
 		bars := []report.Bar{}
 		for _, fct := range d.TopFactors(top) {
 			bars = append(bars, report.Bar{Label: fct.Counter.String(), Value: fct.Contribution})

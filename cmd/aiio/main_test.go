@@ -48,6 +48,35 @@ func TestCLIPipeline(t *testing.T) {
 	}
 }
 
+// TestCLILenientLoad corrupts a record of an on-disk database and checks
+// the strict load refuses it while -lenient quarantines and proceeds.
+func TestCLILenientLoad(t *testing.T) {
+	dir := t.TempDir()
+	db := filepath.Join(dir, "db.darshan")
+	if err := cmdGenDB([]string{"-jobs", "20", "-seed", "5", "-o", db}); err != nil {
+		t.Fatalf("gen-db: %v", err)
+	}
+	f, err := os.OpenFile(db, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\n# darshan log version: aiio-1.0\nPOSIX_READS\tNaN\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if _, err := loadDB(db, false); err == nil {
+		t.Error("strict load accepted a corrupt database")
+	}
+	ds, err := loadDB(db, true)
+	if err != nil {
+		t.Fatalf("lenient load: %v", err)
+	}
+	if ds.Len() != 20 {
+		t.Errorf("lenient load kept %d records, want 20", ds.Len())
+	}
+}
+
 func TestCLIErrors(t *testing.T) {
 	if err := cmdDiagnose([]string{}); err == nil {
 		t.Error("diagnose without -log accepted")

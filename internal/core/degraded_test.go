@@ -1,0 +1,235 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/linalg"
+)
+
+// panicModel wraps a real model and panics on every prediction — the
+// minimal in-package stand-in for the internal/faults injectors (which
+// cannot be imported here without a cycle).
+type panicModel struct{ Model }
+
+func (p panicModel) Predict(x []float64) float64             { panic("injected model failure") }
+func (p panicModel) PredictBatch(x *linalg.Matrix) []float64 { panic("injected model failure") }
+
+// nanModel wraps a real model and returns NaN from every prediction.
+type nanModel struct{ Model }
+
+func (n nanModel) Predict(x []float64) float64 { return math.NaN() }
+func (n nanModel) PredictBatch(x *linalg.Matrix) []float64 {
+	out := make([]float64, x.Rows)
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	return out
+}
+
+func TestDiagnosePanickingModelDegrades(t *testing.T) {
+	_, ens, _ := fixture(t)
+	rec := slowJob(t)
+	opts := fastDiagOpts()
+
+	const broken = 1 // lightgbm
+	faulty := &Ensemble{Models: append([]Model(nil), ens.Models...)}
+	faulty.Models[broken] = panicModel{ens.Models[broken]}
+
+	d, err := faulty.Diagnose(rec, opts)
+	if err != nil {
+		t.Fatalf("diagnosis with one panicking model must degrade, got error: %v", err)
+	}
+	if !d.Degraded {
+		t.Error("Degraded = false with a panicking model")
+	}
+	if !d.PerModel[broken].Failed() || !strings.Contains(d.PerModel[broken].Err, "panic") {
+		t.Errorf("PerModel[%d].Err = %q, want a recovered panic", broken, d.PerModel[broken].Err)
+	}
+	if d.Weights[broken] != 0 {
+		t.Errorf("failed model weight = %v, want 0", d.Weights[broken])
+	}
+	if got := d.SkippedModels(); len(got) != 1 || got[0] != ens.Models[broken].Name() {
+		t.Errorf("SkippedModels() = %v", got)
+	}
+	if d.ClosestIndex == broken {
+		t.Error("closest model is the failed model")
+	}
+
+	// The degraded merge must equal the Eq. 6/7 merge of the surviving
+	// subset, bitwise: same models, same seeds, same reduction order.
+	surviving := &Ensemble{}
+	for i, m := range ens.Models {
+		if i != broken {
+			surviving.Models = append(surviving.Models, m)
+		}
+	}
+	want, err := surviving.Diagnose(rec, opts)
+	if err != nil {
+		t.Fatalf("surviving-subset diagnosis: %v", err)
+	}
+	if d.Average.Predicted != want.Average.Predicted || d.Average.Base != want.Average.Base {
+		t.Errorf("degraded Average (%v, %v) != surviving-subset Average (%v, %v)",
+			d.Average.Predicted, d.Average.Base, want.Average.Predicted, want.Average.Base)
+	}
+	for j := range d.Average.Contributions {
+		if d.Average.Contributions[j] != want.Average.Contributions[j] {
+			t.Fatalf("degraded Average contribution %d differs: %v vs %v",
+				j, d.Average.Contributions[j], want.Average.Contributions[j])
+		}
+	}
+	if d.Closest.Predicted != want.Closest.Predicted {
+		t.Errorf("degraded Closest differs from surviving-subset Closest")
+	}
+}
+
+func TestDiagnoseDegradedSequentialParallelIdentical(t *testing.T) {
+	_, ens, _ := fixture(t)
+	rec := slowJob(t)
+	opts := fastDiagOpts()
+
+	faulty := &Ensemble{Models: append([]Model(nil), ens.Models...)}
+	faulty.Models[2] = panicModel{ens.Models[2]}
+
+	opts.Parallelism = 1
+	seq, err := faulty.Diagnose(rec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 8
+	par, err := faulty.Diagnose(rec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Degraded != par.Degraded || seq.ClosestIndex != par.ClosestIndex {
+		t.Fatal("degraded flags/closest differ between sequential and parallel")
+	}
+	for i := range seq.PerModel {
+		if seq.PerModel[i].Err != par.PerModel[i].Err {
+			t.Fatalf("model %d Err differs: %q vs %q", i, seq.PerModel[i].Err, par.PerModel[i].Err)
+		}
+		if seq.PerModel[i].Predicted != par.PerModel[i].Predicted {
+			t.Fatalf("model %d prediction differs", i)
+		}
+	}
+	for j := range seq.Average.Contributions {
+		if seq.Average.Contributions[j] != par.Average.Contributions[j] {
+			t.Fatalf("Average contribution %d differs between pool sizes", j)
+		}
+	}
+}
+
+func TestDiagnoseAllModelsFailedErrors(t *testing.T) {
+	_, ens, _ := fixture(t)
+	bad := &Ensemble{}
+	for _, m := range ens.Models {
+		bad.Models = append(bad.Models, panicModel{m})
+	}
+	if _, err := bad.Diagnose(slowJob(t), fastDiagOpts()); err == nil {
+		t.Fatal("diagnosis with every model panicking must error, not fabricate output")
+	} else if !strings.Contains(err.Error(), "all") {
+		t.Errorf("error should say all models failed: %v", err)
+	}
+}
+
+func TestDiagnoseNaNModelSkipped(t *testing.T) {
+	_, ens, _ := fixture(t)
+	faulty := &Ensemble{Models: append([]Model(nil), ens.Models...)}
+	faulty.Models[3] = nanModel{ens.Models[3]}
+
+	d, err := faulty.Diagnose(slowJob(t), fastDiagOpts())
+	if err != nil {
+		t.Fatalf("NaN model must be skipped, got error: %v", err)
+	}
+	if !d.Degraded || !d.PerModel[3].Failed() {
+		t.Errorf("NaN-emitting model not marked failed: degraded=%v err=%q", d.Degraded, d.PerModel[3].Err)
+	}
+	if !strings.Contains(d.PerModel[3].Err, "non-finite") {
+		t.Errorf("Err = %q, want non-finite mention", d.PerModel[3].Err)
+	}
+	if math.IsNaN(d.Average.Predicted) {
+		t.Error("NaN leaked into the merged prediction")
+	}
+	for _, w := range d.Weights {
+		if math.IsNaN(w) {
+			t.Fatal("NaN leaked into the Eq. 8 weights")
+		}
+	}
+}
+
+func TestDiagnoseBatchContextCancellation(t *testing.T) {
+	_, ens, _ := fixture(t)
+	rec := slowJob(t)
+	opts := fastDiagOpts()
+	opts.Parallelism = 2
+
+	recs := make([]*darshan.Record, 48)
+	for i := range recs {
+		recs[i] = rec
+	}
+
+	// Uncancelled baseline, for a machine-relative deadline.
+	start := time.Now()
+	if _, err := ens.DiagnoseBatchContext(context.Background(), recs, opts); err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(start)
+
+	// A deadline a tenth of the way in must abort the batch well before the
+	// queue drains and surface ctx's error.
+	ctx, cancel := context.WithTimeout(context.Background(), full/10)
+	defer cancel()
+	start = time.Now()
+	_, err := ens.DiagnoseBatchContext(ctx, recs, opts)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Skip("batch finished inside a tenth of its own baseline; timing assertion not meaningful")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > full/2+50*time.Millisecond {
+		t.Errorf("cancelled batch took %v, more than half the full drain time %v", elapsed, full)
+	}
+
+	// Pre-cancelled context: nothing runs.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	if _, err := ens.DiagnoseBatchContext(pre, recs, opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled batch err = %v", err)
+	}
+}
+
+func TestDiagnoseContextPreCancelled(t *testing.T) {
+	_, ens, _ := fixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ens.DiagnoseContext(ctx, slowJob(t), fastDiagOpts()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTrainEnsembleContextCancelled(t *testing.T) {
+	frame, _, _ := fixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := TrainEnsembleContext(ctx, frame, DefaultTrainOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestTrainRefusesCorruptFrame(t *testing.T) {
+	frame, _, _ := fixture(t)
+	corrupt := frame.Subset([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	corrupt.X.Set(3, 7, math.NaN())
+	_, _, err := TrainEnsemble(corrupt, DefaultTrainOptions())
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("training on a NaN feature must be refused, got %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -72,7 +73,15 @@ type ModelDiagnosis struct {
 	Contributions []float64
 	// AdditivityErr is |Base + ΣC − Predicted| (local accuracy residual).
 	AdditivityErr float64
+	// Err is the failure that prevented this model's diagnosis — a
+	// recovered panic, an injected error, or a non-finite output ("" on
+	// success). A failed model has nil Contributions and is excluded from
+	// the Eq. 6/7 merges; the surviving subset carries the diagnosis.
+	Err string
 }
+
+// Failed reports whether this model's diagnosis was skipped.
+func (md *ModelDiagnosis) Failed() bool { return md.Err != "" }
 
 // Diagnosis is the full AIIO output for one job.
 type Diagnosis struct {
@@ -92,12 +101,40 @@ type Diagnosis struct {
 	// Closest and Average are the two merged diagnoses of Section 3.3.
 	Closest ModelDiagnosis
 	Average ModelDiagnosis
+	// Degraded reports that at least one model's diagnosis failed and the
+	// merges ran over the surviving subset only. The failed models keep
+	// their PerModel slots with Err set and weight 0.
+	Degraded bool
+}
+
+// SkippedModels returns the names of models whose diagnosis failed, in
+// model order; empty when the diagnosis is complete.
+func (d *Diagnosis) SkippedModels() []string {
+	var names []string
+	for i := range d.PerModel {
+		if d.PerModel[i].Failed() {
+			names = append(names, d.PerModel[i].Name)
+		}
+	}
+	return names
 }
 
 // Diagnose runs every performance function's diagnosis function on the job
 // and merges the results with both the Closest (Eq. 6) and Average
 // (Eq. 7–8) methods.
 func (e *Ensemble) Diagnose(rec *darshan.Record, opts DiagnoseOptions) (*Diagnosis, error) {
+	return e.DiagnoseContext(context.Background(), rec, opts)
+}
+
+// DiagnoseContext is Diagnose with cooperative cancellation and degraded
+// operation. Cancellation: ctx is checked between per-model dispatches and
+// between model-evaluation chunks inside the explainers, so a deadline
+// aborts the diagnosis within one chunk's worth of work and ctx's error is
+// returned. Degradation: a model that panics, errors, or returns non-finite
+// values is skipped — its PerModel slot records the failure, Degraded is
+// set, and the Eq. 6/7 merges run over the surviving subset. Only when
+// every model fails (or ctx expires) is an error returned.
+func (e *Ensemble) DiagnoseContext(ctx context.Context, rec *darshan.Record, opts DiagnoseOptions) (*Diagnosis, error) {
 	if len(e.Models) == 0 {
 		return nil, fmt.Errorf("core: ensemble has no models")
 	}
@@ -109,21 +146,55 @@ func (e *Ensemble) Diagnose(rec *darshan.Record, opts DiagnoseOptions) (*Diagnos
 	default:
 		return nil, fmt.Errorf("core: unknown interpreter %q", opts.Interpreter)
 	}
+	// Sanitize the performance tag: a NaN/Inf/negative tag (corrupt log)
+	// would otherwise poison every Eq. 8 weight. Identity on valid records.
+	perf := features.Sanitize(rec.PerfMiBps)
 	x := features.TransformRecord(rec)
 	d := &Diagnosis{
 		Record:      rec,
-		Actual:      features.Transform(rec.PerfMiBps),
-		ActualMiBps: rec.PerfMiBps,
+		Actual:      features.Transform(perf),
+		ActualMiBps: perf,
 	}
 
 	// Each model's explanation is independent until the Eq. 6/7 merges, so
 	// they run on a bounded worker pool. Worker i owns slot i of PerModel,
 	// which keeps the assembled slice — and everything merged from it —
-	// identical to the sequential order.
+	// identical to the sequential order. A panicking model is recovered
+	// into its slot's Err instead of crashing the pool.
 	d.PerModel = make([]ModelDiagnosis, len(e.Models))
-	parallel.Each(len(e.Models), opts.Parallelism, func(i int) {
-		d.PerModel[i] = diagnoseModel(e.Models[i], x, opts)
+	err := parallel.EachCtx(ctx, len(e.Models), opts.Parallelism, func(i int) {
+		m := e.Models[i]
+		callErr := parallel.Call(func() error {
+			md, err := diagnoseModel(ctx, m, x, opts)
+			if err != nil {
+				return err
+			}
+			d.PerModel[i] = md
+			return nil
+		})
+		if callErr != nil {
+			d.PerModel[i] = ModelDiagnosis{Name: m.Name(), Err: callErr.Error()}
+		}
 	})
+	if err != nil {
+		return nil, fmt.Errorf("core: diagnose cancelled: %w", err)
+	}
+
+	survivors := 0
+	firstErr := ""
+	for i := range d.PerModel {
+		if d.PerModel[i].Failed() {
+			if firstErr == "" {
+				firstErr = d.PerModel[i].Name + ": " + d.PerModel[i].Err
+			}
+			continue
+		}
+		survivors++
+	}
+	if survivors == 0 {
+		return nil, fmt.Errorf("core: all %d models failed; first failure: %s", len(e.Models), firstErr)
+	}
+	d.Degraded = survivors < len(e.Models)
 
 	d.ClosestIndex = closestModel(d.PerModel, d.Actual)
 	d.Weights = averageWeights(d.PerModel, d.Actual)
@@ -133,9 +204,13 @@ func (e *Ensemble) Diagnose(rec *darshan.Record, opts DiagnoseOptions) (*Diagnos
 	d.Closest.Name = "closest(" + d.PerModel[d.ClosestIndex].Name + ")"
 
 	// Average Method (Eq. 7): accuracy-weighted merge of contributions and
-	// expectations.
+	// expectations over the surviving models (failed ones have weight 0).
 	avg := ModelDiagnosis{Name: "average", Contributions: make([]float64, len(x))}
-	for mi, md := range d.PerModel {
+	for mi := range d.PerModel {
+		md := &d.PerModel[mi]
+		if md.Failed() {
+			continue
+		}
 		w := d.Weights[mi]
 		avg.Predicted += w * md.Predicted
 		avg.Base += w * md.Base
@@ -151,23 +226,34 @@ func (e *Ensemble) Diagnose(rec *darshan.Record, opts DiagnoseOptions) (*Diagnos
 
 // diagnoseModel runs one performance function's diagnosis function on the
 // transformed counter vector x. The interpreter has been validated by the
-// caller.
-func diagnoseModel(m Model, x []float64, opts DiagnoseOptions) ModelDiagnosis {
+// caller. A non-nil error (including a non-finite model output, which a
+// faulty backend can produce without panicking) marks the model as skipped.
+func diagnoseModel(ctx context.Context, m Model, x []float64, opts DiagnoseOptions) (ModelDiagnosis, error) {
 	md := ModelDiagnosis{Name: m.Name()}
 	switch opts.Interpreter {
 	case InterpreterSHAP, InterpreterTreeSHAP:
 		var ex shap.Explanation
 		if gm, ok := TreeModel(m); ok && opts.Interpreter == InterpreterTreeSHAP {
+			if err := ctx.Err(); err != nil {
+				return md, err
+			}
 			ex = shap.NewTree(gm).Explain(x, nil)
 		} else {
-			ex = shap.New(m.PredictBatch, nil, opts.SHAP).Explain(x)
+			var err error
+			ex, err = shap.New(m.PredictBatch, nil, opts.SHAP).ExplainContext(ctx, x)
+			if err != nil {
+				return md, err
+			}
 		}
 		md.Predicted = ex.FX
 		md.Base = ex.Base
 		md.Contributions = ex.Phi
 		md.AdditivityErr = ex.AdditivityError()
 	case InterpreterLIME:
-		ex := lime.New(m.PredictBatch, nil, opts.LIME).Explain(x)
+		ex, err := lime.New(m.PredictBatch, nil, opts.LIME).ExplainContext(ctx, x)
+		if err != nil {
+			return md, err
+		}
 		md.Predicted = ex.FX
 		md.Base = ex.Intercept
 		md.Contributions = ex.Phi
@@ -178,7 +264,28 @@ func diagnoseModel(m Model, x []float64, opts DiagnoseOptions) ModelDiagnosis {
 		md.AdditivityErr = math.Abs(sum - ex.FX)
 	}
 	md.PredictedMiBps = features.Inverse(md.Predicted)
-	return md
+	if err := md.checkFinite(); err != nil {
+		return md, err
+	}
+	return md, nil
+}
+
+// checkFinite rejects a model diagnosis carrying NaN/Inf — the signature of
+// a corrupted or fault-injected backend. Letting such values through would
+// silently poison the Eq. 6/7 merges and every weight.
+func (md *ModelDiagnosis) checkFinite() error {
+	if math.IsNaN(md.Predicted) || math.IsInf(md.Predicted, 0) {
+		return fmt.Errorf("non-finite prediction %v", md.Predicted)
+	}
+	if math.IsNaN(md.Base) || math.IsInf(md.Base, 0) {
+		return fmt.Errorf("non-finite base value %v", md.Base)
+	}
+	for j, c := range md.Contributions {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return fmt.Errorf("non-finite contribution %v for counter %d", c, j)
+		}
+	}
+	return nil
 }
 
 // DiagnoseBatch diagnoses every record on a bounded worker pool of
@@ -188,8 +295,17 @@ func diagnoseModel(m Model, x []float64, opts DiagnoseOptions) ModelDiagnosis {
 // still use the machine. Output order matches recs and every diagnosis is
 // bitwise-identical to a standalone Diagnose call with the same options.
 func (e *Ensemble) DiagnoseBatch(recs []*darshan.Record, opts DiagnoseOptions) ([]*Diagnosis, error) {
+	return e.DiagnoseBatchContext(context.Background(), recs, opts)
+}
+
+// DiagnoseBatchContext is DiagnoseBatch with cooperative cancellation: once
+// ctx is done, no new job is dispatched, in-flight jobs abort at their next
+// explainer chunk boundary, and ctx's error is returned — so a cancelled
+// batch returns within one chunk's worth of work, not after draining the
+// whole queue.
+func (e *Ensemble) DiagnoseBatchContext(ctx context.Context, recs []*darshan.Record, opts DiagnoseOptions) ([]*Diagnosis, error) {
 	if len(recs) == 0 {
-		return nil, nil
+		return nil, ctx.Err()
 	}
 	total := opts.Parallelism
 	if total <= 0 {
@@ -201,9 +317,11 @@ func (e *Ensemble) DiagnoseBatch(recs []*darshan.Record, opts DiagnoseOptions) (
 
 	out := make([]*Diagnosis, len(recs))
 	errs := make([]error, len(recs))
-	parallel.Each(len(recs), workers, func(i int) {
-		out[i], errs[i] = e.Diagnose(recs[i], jobOpts)
-	})
+	if err := parallel.EachCtx(ctx, len(recs), workers, func(i int) {
+		out[i], errs[i] = e.DiagnoseContext(ctx, recs[i], jobOpts)
+	}); err != nil {
+		return nil, fmt.Errorf("core: diagnose batch cancelled: %w", err)
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: diagnose job %d: %w", i, err)
@@ -212,11 +330,15 @@ func (e *Ensemble) DiagnoseBatch(recs []*darshan.Record, opts DiagnoseOptions) (
 	return out, nil
 }
 
-// closestModel implements Eq. 6.
+// closestModel implements Eq. 6 over the surviving models. The caller
+// guarantees at least one model succeeded.
 func closestModel(models []ModelDiagnosis, actual float64) int {
-	best, bestErr := 0, math.Inf(1)
-	for i, md := range models {
-		if err := math.Abs(md.Predicted - actual); err < bestErr {
+	best, bestErr := -1, math.Inf(1)
+	for i := range models {
+		if models[i].Failed() {
+			continue
+		}
+		if err := math.Abs(models[i].Predicted - actual); err < bestErr {
 			best, bestErr = i, err
 		}
 	}
@@ -224,18 +346,26 @@ func closestModel(models []ModelDiagnosis, actual float64) int {
 }
 
 // averageWeights implements Eq. 8: r_m = Σ|ŷ−y| / |ŷ_m−y|, w_m = r_m / Σr.
-// A small epsilon keeps exact predictions from dividing by zero.
+// A small epsilon keeps exact predictions from dividing by zero. Failed
+// models get weight 0; the surviving weights still sum to 1, so a degraded
+// merge is exactly the Eq. 7–8 merge of the surviving subset.
 func averageWeights(models []ModelDiagnosis, actual float64) []float64 {
 	const eps = 1e-9
 	total := 0.0
 	errs := make([]float64, len(models))
-	for i, md := range models {
-		errs[i] = math.Abs(md.Predicted-actual) + eps
+	for i := range models {
+		if models[i].Failed() {
+			continue
+		}
+		errs[i] = math.Abs(models[i].Predicted-actual) + eps
 		total += errs[i]
 	}
 	r := make([]float64, len(models))
 	sumR := 0.0
 	for i := range models {
+		if models[i].Failed() {
+			continue
+		}
 		r[i] = total / errs[i]
 		sumR += r[i]
 	}
@@ -303,7 +433,8 @@ func (md *ModelDiagnosis) Factors(rec *darshan.Record) []Factor {
 
 // IsRobust verifies the Section 3.3 robustness property: every counter that
 // is zero in the record has exactly zero contribution in every per-model and
-// merged diagnosis.
+// merged diagnosis. Failed models have no contributions and are vacuously
+// robust.
 func (d *Diagnosis) IsRobust() bool {
 	check := func(md *ModelDiagnosis) bool {
 		for j, c := range md.Contributions {

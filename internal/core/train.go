@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/hpc-repro/aiio/internal/features"
@@ -65,8 +66,21 @@ func (e *Ensemble) Model(name string) Model {
 // using the paper's shuffled split for training and early-stopping
 // evaluation, and reports each model's eval RMSE.
 func TrainEnsemble(frame *features.Frame, opts TrainOptions) (*Ensemble, *TrainReport, error) {
+	return TrainEnsembleContext(context.Background(), frame, opts)
+}
+
+// TrainEnsembleContext is TrainEnsemble with cooperative cancellation: ctx
+// is checked before each model's fit, so a cancelled training run stops
+// after the model in flight instead of fitting the rest of the ensemble.
+// It also refuses a frame carrying NaN/Inf features (see Frame.Validate) —
+// corrupt inputs must be quarantined or sanitized before training, never
+// silently fitted.
+func TrainEnsembleContext(ctx context.Context, frame *features.Frame, opts TrainOptions) (*Ensemble, *TrainReport, error) {
 	if frame.Len() < 10 {
 		return nil, nil, fmt.Errorf("core: dataset too small (%d records)", frame.Len())
+	}
+	if err := frame.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("core: refusing to train on corrupt features: %w", err)
 	}
 	if opts.SplitFrac <= 0 || opts.SplitFrac >= 1 {
 		opts.SplitFrac = 0.5
@@ -94,6 +108,9 @@ func TrainEnsemble(frame *features.Frame, opts TrainOptions) (*Ensemble, *TrainR
 	report := &TrainReport{TrainSize: train.Len(), EvalSize: eval.Len()}
 
 	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("core: training cancelled before %s: %w", name, err)
+		}
 		var model Model
 		switch name {
 		case NameXGBoost, NameLightGBM, NameCatBoost:

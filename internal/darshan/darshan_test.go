@@ -2,6 +2,7 @@ package darshan
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -456,5 +457,93 @@ func BenchmarkCollectorObserve(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p.Observe(Op{Kind: OpWrite, File: 1, Offset: int64(i) * 1024, Size: 1024})
+	}
+}
+
+func TestParseDatasetLenientQuarantinesBadRecords(t *testing.T) {
+	good := func(id int64) string {
+		return fmt.Sprintf("# darshan log version: aiio-1.0\n# jobid: %d\n# performance_mibps: 100\nPOSIX_READS\t4\nPOSIX_SIZE_READ_0_100\t4\n", id)
+	}
+	stream := good(1) +
+		"# darshan log version: aiio-1.0\nPOSIX_READS broken line with too many fields\n" + // malformed
+		good(2) +
+		"# darshan log version: aiio-1.0\n# performance_mibps: nan\nPOSIX_WRITES\t1\n" + // NaN perf tag
+		"# darshan log version: aiio-1.0\nPOSIX_READS\t-5\n" + // negative counter
+		good(3)
+
+	ds, quarantine, err := ParseDatasetLenient(strings.NewReader(stream))
+	if err != nil {
+		t.Fatalf("lenient parse returned a hard error: %v", err)
+	}
+	if ds.Len() != 3 {
+		t.Fatalf("accepted %d records, want 3", ds.Len())
+	}
+	if len(quarantine) != 3 {
+		t.Fatalf("quarantined %d records, want 3: %v", len(quarantine), quarantine)
+	}
+	wantIdx := []int{1, 3, 4}
+	for i, q := range quarantine {
+		if q.Index != wantIdx[i] {
+			t.Errorf("quarantine[%d].Index = %d, want %d", i, q.Index, wantIdx[i])
+		}
+		if q.Line <= 0 {
+			t.Errorf("quarantine[%d].Line = %d, want positive", i, q.Line)
+		}
+		if q.Error() == "" || q.Reason == "" {
+			t.Errorf("quarantine[%d] has empty reason", i)
+		}
+	}
+	for i, rec := range ds.Records {
+		if reason := vetRecord(rec); reason != "" {
+			t.Errorf("accepted record %d fails vetting: %s", i, reason)
+		}
+	}
+	// The strict parser aborts on the same stream.
+	if _, err := ParseDataset(strings.NewReader(stream)); err == nil {
+		t.Error("strict ParseDataset accepted a corrupt stream")
+	}
+
+	sum := QuarantineSummary(ds.Len(), quarantine)
+	if !strings.Contains(sum, "3 records parsed") || !strings.Contains(sum, "3 quarantined") {
+		t.Errorf("summary = %q", sum)
+	}
+	if got := QuarantineSummary(5, nil); !strings.Contains(got, "none quarantined") {
+		t.Errorf("clean summary = %q", got)
+	}
+}
+
+func TestParseDatasetLenientPureGarbage(t *testing.T) {
+	ds, quarantine, err := ParseDatasetLenient(strings.NewReader("complete\ngarbage\nstream\n"))
+	if err != nil {
+		t.Fatalf("garbage must quarantine, not error: %v", err)
+	}
+	if ds.Len() != 0 || len(quarantine) != 1 {
+		t.Fatalf("got %d records, %d quarantined; want 0 and 1", ds.Len(), len(quarantine))
+	}
+}
+
+func TestParseDatasetLenientMatchesStrictOnCleanStream(t *testing.T) {
+	var buf bytes.Buffer
+	want := &Dataset{}
+	for i := int64(1); i <= 4; i++ {
+		rec := &Record{JobID: i, PerfMiBps: float64(i) * 10}
+		rec.Counters[PosixReads] = float64(i)
+		rec.Counters[PosixSizeRead0_100] = float64(i)
+		want.Append(rec)
+	}
+	if err := WriteDataset(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	ds, quarantine, err := ParseDatasetLenient(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(quarantine) != 0 {
+		t.Fatalf("clean stream: err=%v quarantine=%v", err, quarantine)
+	}
+	if ds.Len() != want.Len() {
+		t.Fatalf("lenient parsed %d records, want %d", ds.Len(), want.Len())
+	}
+	for i := range ds.Records {
+		if ds.Records[i].Counters != want.Records[i].Counters || ds.Records[i].JobID != want.Records[i].JobID {
+			t.Fatalf("record %d differs from strict round trip", i)
+		}
 	}
 }

@@ -40,6 +40,43 @@ func FuzzParseLog(f *testing.F) {
 	})
 }
 
+// FuzzParseDatasetLenient is the quarantine-path contract: lenient parsing
+// never panics, never returns a hard error for in-memory input, and every
+// record it accepts carries only finite, non-negative counters and a
+// finite, non-negative performance tag — no matter how hostile the stream.
+func FuzzParseDatasetLenient(f *testing.F) {
+	one := "# darshan log version: aiio-1.0\n# jobid: 1\n# performance_mibps: 50\nPOSIX_READS\t1\n"
+	f.Add(one)
+	f.Add(one + "\n" + one)
+	f.Add("garbage\n" + one)
+	f.Add(one + "# darshan log version: aiio-1.0\nPOSIX_READS\t-3\n")
+	f.Add("# darshan log version: aiio-1.0\n# performance_mibps: inf\nPOSIX_WRITES\t2\n")
+	f.Add("# darshan log version: aiio-1.0\nPOSIX_READS\tNaN\n")
+	f.Add("# darshan log version: aiio-1.0\n# jobid: not-a-number\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, quarantine, err := ParseDatasetLenient(strings.NewReader(input))
+		if err != nil {
+			// Only a stream-level failure (e.g. a line past the scanner's
+			// 1 MiB cap) may surface here; record-level corruption must not.
+			if !strings.Contains(err.Error(), "read log stream") {
+				t.Fatalf("unexpected hard error: %v", err)
+			}
+			return
+		}
+		for i, rec := range ds.Records {
+			if reason := vetRecord(rec); reason != "" {
+				t.Fatalf("accepted record %d fails vetting: %s", i, reason)
+			}
+		}
+		for _, q := range quarantine {
+			if q.Reason == "" || q.Line <= 0 {
+				t.Fatalf("malformed quarantine entry: %+v", q)
+			}
+		}
+		_ = QuarantineSummary(ds.Len(), quarantine)
+	})
+}
+
 // FuzzParseDataset checks the multi-record splitter.
 func FuzzParseDataset(f *testing.F) {
 	one := "# darshan log version: aiio-1.0\n# jobid: 1\nPOSIX_READS\t1\n"

@@ -173,3 +173,123 @@ func ParseDataset(r io.Reader) (*Dataset, error) {
 	}
 	return ds, nil
 }
+
+// RecordError describes one quarantined record of a lenient parse.
+type RecordError struct {
+	// Index is the record's ordinal position in the stream, counting
+	// quarantined records (0-based).
+	Index int
+	// Line is the 1-based line number where the record's chunk starts.
+	Line int
+	// Reason is why the record was quarantined.
+	Reason string
+}
+
+// Error implements the error interface.
+func (e RecordError) Error() string {
+	return fmt.Sprintf("darshan: record %d (line %d) quarantined: %s", e.Index, e.Line, e.Reason)
+}
+
+// ParseDatasetLenient parses a WriteDataset-format stream like ParseDataset
+// but quarantines bad records instead of aborting the whole database: a
+// record whose chunk fails to parse, or that carries NaN/Inf/negative
+// counters or a non-finite performance tag, is skipped and reported in the
+// returned quarantine list. Real Darshan corpora are riddled with corrupt,
+// partial, and out-of-range records; one bad job must not discard the other
+// millions. The returned error is non-nil only for a reader failure — a
+// stream of pure garbage yields an empty dataset and a full quarantine.
+func ParseDatasetLenient(r io.Reader) (*Dataset, []RecordError, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	ds := &Dataset{}
+	var quarantine []RecordError
+	var chunk strings.Builder
+	index := 0
+	chunkLine := 1
+	lineno := 0
+	flush := func() {
+		if strings.TrimSpace(chunk.String()) == "" {
+			// Whitespace-only chunks are record separators (or a blank
+			// preamble), not records: parsing one would fabricate an
+			// all-zero phantom job.
+			chunk.Reset()
+			return
+		}
+		defer func() {
+			chunk.Reset()
+			index++
+		}()
+		rec, err := ParseLog(strings.NewReader(chunk.String()))
+		if err != nil {
+			quarantine = append(quarantine, RecordError{Index: index, Line: chunkLine, Reason: err.Error()})
+			return
+		}
+		if reason := vetRecord(rec); reason != "" {
+			quarantine = append(quarantine, RecordError{Index: index, Line: chunkLine, Reason: reason})
+			return
+		}
+		ds.Append(rec)
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		lineno++
+		if strings.HasPrefix(line, "# darshan log version:") && chunk.Len() > 0 {
+			flush()
+			chunkLine = lineno
+		}
+		if chunk.Len() == 0 {
+			chunkLine = lineno
+		}
+		chunk.WriteString(line)
+		chunk.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("darshan: read log stream: %w", err)
+	}
+	flush()
+	return ds, quarantine, nil
+}
+
+// vetRecord returns a non-empty reason when a parsed record is out of
+// range for the lenient parser: non-finite or negative counters, or a
+// non-finite performance tag. (ParseLog already rejects non-finite counter
+// literals; this catches values smuggled through headers or computed
+// fields.)
+func vetRecord(rec *Record) string {
+	for id := CounterID(0); id < NumCounters; id++ {
+		v := rec.Counters[id]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Sprintf("counter %s is not finite: %v", id, v)
+		}
+		if v < 0 {
+			return fmt.Sprintf("counter %s is negative: %v", id, v)
+		}
+	}
+	if math.IsNaN(rec.PerfMiBps) || math.IsInf(rec.PerfMiBps, 0) {
+		return fmt.Sprintf("performance tag is not finite: %v", rec.PerfMiBps)
+	}
+	if rec.PerfMiBps < 0 {
+		return fmt.Sprintf("performance tag is negative: %v", rec.PerfMiBps)
+	}
+	return ""
+}
+
+// QuarantineSummary renders a one-line human-readable account of a lenient
+// parse: how many records survived, how many were quarantined, and the
+// first few reasons.
+func QuarantineSummary(accepted int, quarantine []RecordError) string {
+	if len(quarantine) == 0 {
+		return fmt.Sprintf("%d records parsed, none quarantined", accepted)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d records parsed, %d quarantined", accepted, len(quarantine))
+	const maxShown = 3
+	for i, q := range quarantine {
+		if i >= maxShown {
+			fmt.Fprintf(&b, "; and %d more", len(quarantine)-maxShown)
+			break
+		}
+		fmt.Fprintf(&b, "; [record %d line %d] %s", q.Index, q.Line, q.Reason)
+	}
+	return b.String()
+}

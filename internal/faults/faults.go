@@ -1,0 +1,146 @@
+// Package faults is a deterministic fault-injection harness for AIIO's
+// robustness tests. It wraps trained models and log readers with seeded,
+// reproducible failure modes — panics, NaN outputs, injected latency,
+// corrupted or truncated byte streams — so the chaos suite can prove that
+// every failure degrades the pipeline (skipped model, quarantined record,
+// request timeout) instead of crashing it.
+//
+// Everything here is deterministic: the same seed and rate always corrupt
+// the same bytes, and call-count triggers fire at the same call. A flaky
+// chaos suite is worse than none.
+package faults
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpc-repro/aiio/internal/core"
+	"github.com/hpc-repro/aiio/internal/linalg"
+)
+
+// FaultyModel wraps a core.Model and injects failures into its predictions.
+// The zero value of every knob is "off", so FaultyModel{Model: m} is a
+// transparent wrapper. Because the wrapper hides the concrete model type,
+// core's TreeSHAP fast path is disabled and every SHAP evaluation flows
+// through Predict/PredictBatch — faults cannot be bypassed.
+type FaultyModel struct {
+	core.Model
+
+	// PanicOn makes every prediction panic.
+	PanicOn bool
+	// NaNOn makes every prediction return NaN.
+	NaNOn bool
+	// Latency is slept before each Predict/PredictBatch call.
+	Latency time.Duration
+	// FailAfter, when > 0, lets the first FailAfter prediction calls
+	// through and panics on every later one — a model that works until
+	// it doesn't.
+	FailAfter int64
+
+	calls atomic.Int64
+}
+
+// Calls reports how many prediction calls the wrapper has seen.
+func (f *FaultyModel) Calls() int64 { return f.calls.Load() }
+
+func (f *FaultyModel) arm() {
+	n := f.calls.Add(1)
+	if f.Latency > 0 {
+		time.Sleep(f.Latency)
+	}
+	if f.PanicOn {
+		panic("faults: injected model panic")
+	}
+	if f.FailAfter > 0 && n > f.FailAfter {
+		panic("faults: injected model panic (FailAfter exceeded)")
+	}
+}
+
+// Predict applies the configured faults, then delegates.
+func (f *FaultyModel) Predict(x []float64) float64 {
+	f.arm()
+	if f.NaNOn {
+		return math.NaN()
+	}
+	return f.Model.Predict(x)
+}
+
+// PredictBatch applies the configured faults, then delegates. A batch
+// counts as one call for FailAfter purposes.
+func (f *FaultyModel) PredictBatch(x *linalg.Matrix) []float64 {
+	f.arm()
+	if f.NaNOn {
+		out := make([]float64, x.Rows)
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	return f.Model.PredictBatch(x)
+}
+
+// Break replaces model i of ens with fault (whose Model field it fills in
+// with the original model), returning a new ensemble; the original is
+// untouched. The caller keeps fault for call inspection.
+func Break(ens *core.Ensemble, i int, fault *FaultyModel) *core.Ensemble {
+	out := &core.Ensemble{Models: append([]core.Model(nil), ens.Models...)}
+	fault.Model = ens.Models[i]
+	out.Models[i] = fault
+	return out
+}
+
+// CorruptStream returns a reader that deterministically mangles lines of r:
+// each line is corrupted with probability rate (seeded by seed), by either
+// replacing its value field with garbage, flipping a byte, or dropping the
+// line entirely. Line structure is otherwise preserved, so a corrupted
+// Darshan log stream still splits into records — most of which the lenient
+// parser must quarantine rather than choke on.
+func CorruptStream(r io.Reader, rate float64, seed int64) io.Reader {
+	rng := rand.New(rand.NewSource(seed))
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var out bytes.Buffer
+	for sc.Scan() {
+		line := sc.Text()
+		if rng.Float64() < rate && len(line) > 0 {
+			switch rng.Intn(3) {
+			case 0: // hostile value
+				out.WriteString("POSIX_READS\tNaN\n")
+				continue
+			case 1: // flip a byte mid-line
+				b := []byte(line)
+				b[rng.Intn(len(b))] ^= 0x5a
+				line = string(b)
+			case 2: // drop the line
+				continue
+			}
+		}
+		out.WriteString(line)
+		out.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return &errReader{err: err}
+	}
+	return &out
+}
+
+// TruncateReader returns a reader that yields at most n bytes of r and then
+// reports io.EOF — a log stream cut off mid-record.
+func TruncateReader(r io.Reader, n int64) io.Reader {
+	return io.LimitReader(r, n)
+}
+
+// ErrReader returns a reader that yields the first n bytes of r and then
+// fails with err — a disk or network fault mid-read.
+func ErrReader(r io.Reader, n int64, err error) io.Reader {
+	return io.MultiReader(io.LimitReader(r, n), &errReader{err: err})
+}
+
+type errReader struct{ err error }
+
+func (e *errReader) Read([]byte) (int, error) { return 0, e.err }

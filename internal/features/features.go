@@ -21,6 +21,18 @@ func Transform(v float64) float64 {
 	return math.Log10(v + 1)
 }
 
+// Sanitize maps a hostile raw counter value into Transform's domain: NaN,
+// ±Inf and negative values clamp to 0, the sparsity-neutral element.
+// Darshan counters are non-negative and finite by construction, so the
+// clamp only fires on corrupt input; it keeps one bad record from injecting
+// NaN into a feature matrix or a SHAP evaluation.
+func Sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0
+	}
+	return v
+}
+
 // Inverse undoes Transform.
 func Inverse(v float64) float64 {
 	return math.Pow(10, v) - 1
@@ -36,11 +48,13 @@ func TransformVector(v []float64) []float64 {
 }
 
 // TransformRecord converts a Darshan record into the 45-dimensional
-// transformed feature vector used by every model.
+// transformed feature vector used by every model. Counters are sanitized
+// first (NaN/Inf/negative clamp to 0), so a corrupt record degrades to a
+// sparser job instead of poisoning the diagnosis.
 func TransformRecord(rec *darshan.Record) []float64 {
 	out := make([]float64, darshan.NumCounters)
 	for i, v := range rec.Counters {
-		out[i] = Transform(v)
+		out[i] = Transform(Sanitize(v))
 	}
 	return out
 }
@@ -56,7 +70,10 @@ type Frame struct {
 	Records []*darshan.Record
 }
 
-// Build constructs a Frame from a dataset.
+// Build constructs a Frame from a dataset. Counter values and performance
+// tags are sanitized (NaN/Inf/negative clamp to 0) so one corrupt record
+// cannot poison the whole matrix; quarantine rejects such records earlier
+// when the dataset comes through darshan.ParseDatasetLenient.
 func Build(ds *darshan.Dataset) *Frame {
 	n := ds.Len()
 	f := &Frame{
@@ -67,9 +84,9 @@ func Build(ds *darshan.Dataset) *Frame {
 	for i, rec := range ds.Records {
 		row := f.X.Row(i)
 		for j, v := range rec.Counters {
-			row[j] = Transform(v)
+			row[j] = Transform(Sanitize(v))
 		}
-		f.Y[i] = Transform(rec.PerfMiBps)
+		f.Y[i] = Transform(Sanitize(rec.PerfMiBps))
 		f.Records[i] = rec
 	}
 	return f
@@ -77,6 +94,26 @@ func Build(ds *darshan.Dataset) *Frame {
 
 // Len returns the number of samples.
 func (f *Frame) Len() int { return len(f.Y) }
+
+// Validate reports the first non-finite entry of X or Y. Build cannot
+// produce one, but a Frame assembled by hand (or mutated by a fault
+// injector) can; TrainEnsemble runs this guard before fitting so corrupt
+// features fail fast with a location instead of silently skewing a model.
+func (f *Frame) Validate() error {
+	for i := 0; i < f.X.Rows; i++ {
+		for j, v := range f.X.Row(i) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("features: X[%d][%d] is not finite: %v", i, j, v)
+			}
+		}
+	}
+	for i, v := range f.Y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("features: Y[%d] is not finite: %v", i, v)
+		}
+	}
+	return nil
+}
 
 // Subset returns a new frame containing the given row indices.
 func (f *Frame) Subset(idx []int) *Frame {

@@ -154,3 +154,68 @@ func TestStandardizer(t *testing.T) {
 		t.Error("empty fit should default std to 1")
 	}
 }
+
+func TestSanitizeClampsHostileValues(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{math.NaN(), 0},
+		{math.Inf(1), 0},
+		{math.Inf(-1), 0},
+		{-3, 0},
+		{0, 0},
+		{42, 42},
+		{1.5, 1.5},
+	}
+	for _, c := range cases {
+		if got := Sanitize(c.in); got != c.want {
+			t.Errorf("Sanitize(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBuildSanitizesCorruptRecords(t *testing.T) {
+	rec := &darshan.Record{PerfMiBps: math.NaN()}
+	rec.Counters[0] = math.Inf(1)
+	rec.Counters[1] = -7
+	rec.Counters[2] = math.NaN()
+	rec.Counters[3] = 100
+	ds := &darshan.Dataset{Records: []*darshan.Record{rec}}
+	f := Build(ds)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Build let a non-finite value through: %v", err)
+	}
+	for j := 0; j < 3; j++ {
+		if got := f.X.At(0, j); got != 0 {
+			t.Errorf("corrupt counter %d transformed to %v, want 0", j, got)
+		}
+	}
+	if got, want := f.X.At(0, 3), Transform(100); got != want {
+		t.Errorf("clean counter transformed to %v, want %v", got, want)
+	}
+	if f.Y[0] != 0 {
+		t.Errorf("NaN performance tag transformed to %v, want 0", f.Y[0])
+	}
+
+	x := TransformRecord(rec)
+	for j := 0; j < 3; j++ {
+		if x[j] != 0 {
+			t.Errorf("TransformRecord kept corrupt counter %d: %v", j, x[j])
+		}
+	}
+}
+
+func TestFrameValidateFlagsHandMadeNaN(t *testing.T) {
+	ds := &darshan.Dataset{Records: []*darshan.Record{{PerfMiBps: 10}}}
+	f := Build(ds)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("clean frame: %v", err)
+	}
+	f.X.Set(0, 5, math.NaN())
+	if err := f.Validate(); err == nil {
+		t.Fatal("Validate missed a NaN feature")
+	}
+	f.X.Set(0, 5, 0)
+	f.Y[0] = math.Inf(-1)
+	if err := f.Validate(); err == nil {
+		t.Fatal("Validate missed a -Inf target")
+	}
+}

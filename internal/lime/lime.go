@@ -13,6 +13,7 @@
 package lime
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -75,6 +76,15 @@ func New(f shap.PredictFunc, background []float64, cfg Config) *Explainer {
 
 // Explain fits the local surrogate around x.
 func (e *Explainer) Explain(x []float64) Explanation {
+	out, _ := e.ExplainContext(context.Background(), x)
+	return out
+}
+
+// ExplainContext fits the local surrogate around x with cooperative
+// cancellation: the perturbation batch is evaluated in row chunks with a
+// ctx check between chunks (see shap.EvalChunked). On cancellation the
+// partial fit is discarded and ctx's error is returned.
+func (e *Explainer) ExplainContext(ctx context.Context, x []float64) (Explanation, error) {
 	bg := e.background
 	if bg == nil {
 		bg = make([]float64, len(x))
@@ -92,11 +102,14 @@ func (e *Explainer) Explain(x []float64) Explanation {
 
 	m := len(active)
 	if m == 0 {
+		if err := ctx.Err(); err != nil {
+			return Explanation{}, err
+		}
 		one := linalg.NewMatrix(1, len(x))
 		copy(one.Row(0), x)
 		out.FX = e.f(one)[0]
 		out.Intercept = out.FX
-		return out
+		return out, nil
 	}
 
 	rng := rand.New(rand.NewSource(e.cfg.Seed))
@@ -130,7 +143,10 @@ func (e *Explainer) Explain(x []float64) Explanation {
 			}
 		}
 	}
-	vals := e.f(inputs)
+	vals, err := shap.EvalChunked(ctx, e.f, inputs)
+	if err != nil {
+		return Explanation{}, err
+	}
 	out.FX = vals[0]
 
 	// Locality weights: exponential kernel on cosine distance between the
@@ -154,7 +170,7 @@ func (e *Explainer) Explain(x []float64) Explanation {
 
 	beta, err := linalg.WeightedRidge(z, vals, w, e.cfg.Ridge, true)
 	if err != nil {
-		return out
+		return out, nil
 	}
 	for b := 0; b < m; b++ {
 		out.Phi[active[b]] = beta[b]
@@ -175,5 +191,5 @@ func (e *Explainer) Explain(x []float64) Explanation {
 	if wsum > 0 {
 		out.FitRMSE = math.Sqrt(s / wsum)
 	}
-	return out
+	return out, nil
 }

@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 )
@@ -58,6 +60,112 @@ func TestEachCoversEveryIndexOnce(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+func TestEachCtxCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7} {
+		for _, n := range []int{0, 1, 5, 100, 1000} {
+			hits := make([]int32, n)
+			if err := EachCtx(context.Background(), n, workers, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			}); err != nil {
+				t.Fatalf("EachCtx(%d, %d): %v", n, workers, err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("EachCtx(%d, %d): index %d visited %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForCtxCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7} {
+		for _, n := range []int{0, 1, 5, 100, 1000} {
+			hits := make([]int32, n)
+			if err := ForCtx(context.Background(), n, workers, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Fatalf("ForCtx(%d, %d): bad range [%d, %d)", n, workers, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			}); err != nil {
+				t.Fatalf("ForCtx(%d, %d): %v", n, workers, err)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("ForCtx(%d, %d): index %d visited %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestEachCtxStopsDispatchOnCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 10000
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := EachCtx(ctx, n, workers, func(i int) {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// After cancel, at most the in-flight calls (one per worker) finish.
+		if got := ran.Load(); got > int32(5+workers) {
+			t.Errorf("workers=%d: %d calls ran after cancellation at call 5", workers, got)
+		}
+		cancel()
+	}
+}
+
+func TestForCtxStopsDispatchOnCancel(t *testing.T) {
+	const n = 100000
+	ctx, cancel := context.WithCancel(context.Background())
+	var covered atomic.Int64
+	err := ForCtx(ctx, n, 4, func(lo, hi int) {
+		covered.Add(int64(hi - lo))
+		cancel()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := covered.Load(); got >= n {
+		t.Errorf("all %d indices covered despite cancellation in the first chunk", n)
+	}
+}
+
+func TestEachCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	// With >1 workers the first index may still be pulled before the ctx
+	// check; the sequential path must run nothing at all.
+	if err := EachCtx(ctx, 100, 1, func(i int) { ran.Add(1) }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d calls ran on a pre-cancelled context", ran.Load())
+	}
+}
+
+func TestCallRecoversPanic(t *testing.T) {
+	err := Call(func() error { panic("model exploded") })
+	if err == nil || err.Error() != "panic: model exploded" {
+		t.Fatalf("Call panic conversion: got %v", err)
+	}
+	if err := Call(func() error { return nil }); err != nil {
+		t.Fatalf("Call of clean fn: %v", err)
+	}
+	sentinel := errors.New("boom")
+	if err := Call(func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("Call error passthrough: %v", err)
 	}
 }
 

@@ -264,6 +264,12 @@ func KV(w io.Writer, key string, format string, args ...interface{}) {
 	fmt.Fprintf(w, "  %-28s "+format+"\n", append([]interface{}{key + ":"}, args...)...)
 }
 
+// Warn prints a prominent warning line — degraded diagnoses, quarantined
+// records, anything the user should notice without the run failing.
+func Warn(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, "  !! warning: "+format+"\n", args...)
+}
+
 // Summary renders a SHAP summary ("beeswarm") plot as text: one row per
 // feature, each sample's value marked by position along a shared signed
 // axis — the form of the paper's Fig. 1b. Rows are ordered by mean |value|

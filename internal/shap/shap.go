@@ -19,6 +19,7 @@
 package shap
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -103,6 +104,17 @@ func New(f PredictFunc, background []float64, cfg Config) *Explainer {
 
 // Explain computes the SHAP values of x.
 func (e *Explainer) Explain(x []float64) Explanation {
+	out, _ := e.ExplainContext(context.Background(), x)
+	return out
+}
+
+// ExplainContext computes the SHAP values of x with cooperative
+// cancellation: the model is evaluated in row chunks and ctx is checked
+// between chunks, so a slow performance function cannot pin a worker past
+// its deadline. On cancellation the partial explanation is discarded and
+// ctx's error is returned. Chunked evaluation is bitwise-identical to a
+// single batch call because every AIIO model predicts rows independently.
+func (e *Explainer) ExplainContext(ctx context.Context, x []float64) (Explanation, error) {
 	bg := e.background
 	if bg == nil {
 		bg = make([]float64, len(x))
@@ -120,38 +132,79 @@ func (e *Explainer) Explain(x []float64) Explanation {
 	}
 
 	out := Explanation{Phi: make([]float64, len(x))}
-	base, fx := e.evalPair(bg, x)
+	base, fx, err := e.evalPair(ctx, bg, x)
+	if err != nil {
+		return Explanation{}, err
+	}
 	out.Base = base
 	out.FX = fx
 
 	switch {
 	case len(active) == 0:
-		return out
+		return out, nil
 	case len(active) == 1:
 		out.Phi[active[0]] = fx - base
 		out.Exact = true
-		return out
+		return out, nil
 	case len(active) <= e.cfg.MaxExact:
-		e.exact(x, bg, active, &out)
-		return out
+		if err := e.exact(ctx, x, bg, active, &out); err != nil {
+			return Explanation{}, err
+		}
+		return out, nil
 	default:
-		e.sampled(x, bg, active, &out)
-		return out
+		if err := e.sampled(ctx, x, bg, active, &out); err != nil {
+			return Explanation{}, err
+		}
+		return out, nil
 	}
 }
 
 // evalPair evaluates f on the background and the full input in one batch.
-func (e *Explainer) evalPair(bg, x []float64) (base, fx float64) {
+func (e *Explainer) evalPair(ctx context.Context, bg, x []float64) (base, fx float64, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
 	m := linalg.NewMatrix(2, len(x))
 	copy(m.Row(0), bg)
 	copy(m.Row(1), x)
 	p := e.f(m)
-	return p[0], p[1]
+	return p[0], p[1], nil
+}
+
+// evalChunkRows is the row-chunk size of cancellable model evaluation; ctx
+// is consulted between chunks.
+const evalChunkRows = 512
+
+// EvalChunked evaluates f on every row of inputs. When ctx can be cancelled
+// the evaluation proceeds in chunks of evalChunkRows with a ctx check
+// between chunks; a background context takes the single-call fast path.
+// Both paths return identical values (row-independent models). The lime
+// package shares this helper for its perturbation batches.
+func EvalChunked(ctx context.Context, f PredictFunc, inputs *linalg.Matrix) ([]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ctx.Done() == nil || inputs.Rows <= evalChunkRows {
+		return f(inputs), nil
+	}
+	out := make([]float64, inputs.Rows)
+	for lo := 0; lo < inputs.Rows; lo += evalChunkRows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		hi := lo + evalChunkRows
+		if hi > inputs.Rows {
+			hi = inputs.Rows
+		}
+		sub := &linalg.Matrix{Rows: hi - lo, Cols: inputs.Cols, Data: inputs.Data[lo*inputs.Cols : hi*inputs.Cols]}
+		copy(out[lo:hi], f(sub))
+	}
+	return out, nil
 }
 
 // exact enumerates all 2^M coalitions of the active features and computes
 // exact Shapley values from the marginal contributions.
-func (e *Explainer) exact(x, bg []float64, active []int, out *Explanation) {
+func (e *Explainer) exact(ctx context.Context, x, bg []float64, active []int, out *Explanation) error {
 	m := len(active)
 	n := 1 << m
 
@@ -166,7 +219,10 @@ func (e *Explainer) exact(x, bg []float64, active []int, out *Explanation) {
 			}
 		}
 	}
-	vals := e.f(inputs)
+	vals, err := EvalChunked(ctx, e.f, inputs)
+	if err != nil {
+		return err
+	}
 
 	// Precompute |S|!(M-|S|-1)!/M! per coalition size.
 	weight := make([]float64, m)
@@ -187,6 +243,7 @@ func (e *Explainer) exact(x, bg []float64, active []int, out *Explanation) {
 		out.Phi[active[b]] = phi
 	}
 	out.Exact = true
+	return nil
 }
 
 func popcount(v int) int {
@@ -215,7 +272,7 @@ func binom(n, k int) float64 {
 
 // sampled runs the Kernel SHAP WLS estimator with paired coalition
 // enumeration/sampling, following the shap package's KernelExplainer.
-func (e *Explainer) sampled(x, bg []float64, active []int, out *Explanation) {
+func (e *Explainer) sampled(ctx context.Context, x, bg []float64, active []int, out *Explanation) error {
 	m := len(active)
 	budget := e.cfg.NSamples
 	rng := rand.New(rand.NewSource(e.cfg.Seed))
@@ -333,7 +390,10 @@ func (e *Explainer) sampled(x, bg []float64, active []int, out *Explanation) {
 			}
 		}
 	}
-	vals := e.f(inputs)
+	vals, err := EvalChunked(ctx, e.f, inputs)
+	if err != nil {
+		return err
+	}
 
 	// Constrained WLS: eliminate the last active feature with the
 	// efficiency constraint Σ phi = fx - base.
@@ -364,7 +424,7 @@ func (e *Explainer) sampled(x, bg []float64, active []int, out *Explanation) {
 		for _, j := range active {
 			out.Phi[j] = delta / float64(m)
 		}
-		return
+		return nil
 	}
 	sum := 0.0
 	for b := 0; b < zCols; b++ {
@@ -372,6 +432,7 @@ func (e *Explainer) sampled(x, bg []float64, active []int, out *Explanation) {
 		sum += beta[b]
 	}
 	out.Phi[active[m-1]] = delta - sum
+	return nil
 }
 
 // forEachSubset enumerates all k-subsets of {0..n-1} in lexicographic order.

@@ -1,6 +1,8 @@
 package shap
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -269,5 +271,82 @@ func BenchmarkExplainSampled30(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Explain(x)
+	}
+}
+
+func TestExplainContextCancellation(t *testing.T) {
+	// 20 active features forces the sampled path (4096 coalition rows), so
+	// cancellation must be observed between evaluation chunks.
+	w := make([]float64, 20)
+	x := make([]float64, 20)
+	for j := range w {
+		w[j] = float64(j%5) - 2
+		x[j] = float64(j + 1)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	f := func(m *linalg.Matrix) []float64 {
+		calls++
+		if calls == 2 {
+			cancel() // cancel mid-evaluation, after the first chunk
+		}
+		return linearF(1, w)(m)
+	}
+	_, err := New(f, nil, DefaultConfig()).ExplainContext(ctx, x)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The 4096-row batch must not have been evaluated to completion: 1 pair
+	// call + a prefix of the 8 chunks.
+	if calls > 5 {
+		t.Errorf("%d model calls after cancellation at call 2", calls)
+	}
+
+	// Pre-cancelled context: no model call at all.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	before := calls
+	if _, err := New(f, nil, DefaultConfig()).ExplainContext(ctx2, x); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled err = %v", err)
+	}
+	if calls != before {
+		t.Errorf("model evaluated on a pre-cancelled context")
+	}
+}
+
+func TestExplainContextChunkedMatchesSingleBatch(t *testing.T) {
+	// A live (cancellable) context forces chunked evaluation; the result
+	// must be bitwise-identical to the single-batch Background path, on both
+	// the exact (few active) and sampled (many active) estimators.
+	for _, m := range []int{8, 20} {
+		w := make([]float64, m)
+		x := make([]float64, m)
+		for j := range w {
+			w[j] = math.Sin(float64(j) + 1)
+			x[j] = float64(j%7) + 0.25
+		}
+		f := func(mat *linalg.Matrix) []float64 {
+			out := make([]float64, mat.Rows)
+			for i := range out {
+				r := mat.Row(i)
+				out[i] = 0.5 + linalg.Dot(w, r) + 0.1*r[0]*r[m-1]
+			}
+			return out
+		}
+		plain := New(f, nil, DefaultConfig()).Explain(x)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		chunked, err := New(f, nil, DefaultConfig()).ExplainContext(ctx, x)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		if plain.Base != chunked.Base || plain.FX != chunked.FX {
+			t.Fatalf("m=%d: base/fx differ between chunked and single-batch", m)
+		}
+		for j := range plain.Phi {
+			if plain.Phi[j] != chunked.Phi[j] {
+				t.Fatalf("m=%d: phi[%d] differs: %v vs %v", m, j, plain.Phi[j], chunked.Phi[j])
+			}
+		}
 	}
 }

@@ -2,13 +2,27 @@ package webservice
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"time"
 
 	"github.com/hpc-repro/aiio/internal/darshan"
 )
+
+// Retry policy: transient failures (connection refused/reset, any 5xx
+// response) are retried up to retryAttempts times with exponential backoff
+// and full jitter, so a fleet of clients hammering a restarting service
+// does not reconverge in lockstep. 4xx responses are the caller's fault and
+// are never retried. The caller's context bounds the whole exchange,
+// including backoff sleeps.
+const retryAttempts = 3
+
+// retryBase is the first backoff delay; a var so tests can shrink it.
+var retryBase = 100 * time.Millisecond
 
 // Client talks to an AIIO web service.
 type Client struct {
@@ -22,13 +36,56 @@ func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
 }
 
+// post sends body (replayable — a fresh reader per attempt) with the retry
+// policy and returns the first non-5xx response.
+func (c *Client) post(ctx context.Context, url, contentType string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			delay := retryBase << (attempt - 1)
+			delay += time.Duration(rand.Int63n(int64(delay) + 1)) // full jitter
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("webservice: %w (last attempt: %v)", ctx.Err(), lastErr)
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", contentType)
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err // cancelled/deadlined: not transient
+			}
+			lastErr = err // connection-level failure: retry
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			lastErr = decodeError(resp)
+			resp.Body.Close()
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("webservice: giving up after %d attempts: %w", retryAttempts, lastErr)
+}
+
 // Diagnose uploads a record as a text log and returns the diagnosis.
 func (c *Client) Diagnose(rec *darshan.Record) (*DiagnosisResponse, error) {
+	return c.DiagnoseContext(context.Background(), rec)
+}
+
+// DiagnoseContext is Diagnose bounded by ctx: the deadline covers every
+// retry attempt and the backoff sleeps between them.
+func (c *Client) DiagnoseContext(ctx context.Context, rec *darshan.Record) (*DiagnosisResponse, error) {
 	var body bytes.Buffer
 	if err := darshan.WriteLog(&body, rec); err != nil {
 		return nil, err
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+"/api/v1/diagnose", "text/plain", &body)
+	resp, err := c.post(ctx, c.BaseURL+"/api/v1/diagnose", "text/plain", body.Bytes())
 	if err != nil {
 		return nil, fmt.Errorf("webservice: diagnose request: %w", err)
 	}
@@ -47,11 +104,16 @@ func (c *Client) Diagnose(rec *darshan.Record) (*DiagnosisResponse, error) {
 // returns their diagnoses in input order (no tuning recommendations; the
 // single-job Diagnose provides those).
 func (c *Client) DiagnoseBatch(recs []*darshan.Record) ([]*DiagnosisResponse, error) {
+	return c.DiagnoseBatchContext(context.Background(), recs)
+}
+
+// DiagnoseBatchContext is DiagnoseBatch bounded by ctx.
+func (c *Client) DiagnoseBatchContext(ctx context.Context, recs []*darshan.Record) ([]*DiagnosisResponse, error) {
 	var body bytes.Buffer
 	if err := darshan.WriteDataset(&body, &darshan.Dataset{Records: recs}); err != nil {
 		return nil, err
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+"/api/v1/diagnose/batch", "text/plain", &body)
+	resp, err := c.post(ctx, c.BaseURL+"/api/v1/diagnose/batch", "text/plain", body.Bytes())
 	if err != nil {
 		return nil, fmt.Errorf("webservice: batch diagnose request: %w", err)
 	}
@@ -68,22 +130,57 @@ func (c *Client) DiagnoseBatch(recs []*darshan.Record) ([]*DiagnosisResponse, er
 
 // Models lists the registered models.
 func (c *Client) Models() ([]ModelInfo, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/api/v1/models")
-	if err != nil {
-		return nil, fmt.Errorf("webservice: list models: %w", err)
+	return c.ModelsContext(context.Background())
+}
+
+// ModelsContext lists the registered models, retrying transient failures
+// within ctx's bounds.
+func (c *Client) ModelsContext(ctx context.Context) ([]ModelInfo, error) {
+	var lastErr error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			delay := retryBase << (attempt - 1)
+			delay += time.Duration(rand.Int63n(int64(delay) + 1))
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, fmt.Errorf("webservice: %w (last attempt: %v)", ctx.Err(), lastErr)
+			}
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/api/v1/models", nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.HTTP.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			lastErr = decodeError(resp)
+			resp.Body.Close()
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, decodeError(resp)
+		}
+		var out []ModelInfo
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return nil, fmt.Errorf("webservice: decode models: %w", err)
+		}
+		return out, nil
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
-	var out []ModelInfo
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, fmt.Errorf("webservice: decode models: %w", err)
-	}
-	return out, nil
+	return nil, fmt.Errorf("webservice: giving up after %d attempts: %w", retryAttempts, lastErr)
 }
 
 // UploadModel registers a new pre-trained model from its gob serialization.
+// The body is a one-shot stream, so uploads are NOT retried — a failed
+// upload surfaces immediately and the caller (who owns the reader) decides
+// whether to rewind and resend.
 func (c *Client) UploadModel(name, kind string, gobData io.Reader) error {
 	url := fmt.Sprintf("%s/api/v1/models?name=%s&kind=%s", c.BaseURL, name, kind)
 	resp, err := c.HTTP.Post(url, "application/octet-stream", gobData)

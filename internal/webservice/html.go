@@ -42,17 +42,22 @@ var resultTmpl = template.Must(template.New("result").Parse(`<!DOCTYPE html>
  .pos { background: #27ae60; }
  .num { font-family: monospace; }
  .bottleneck { color: #c0392b; font-weight: bold; }
+ .warn { background: #fcf3cf; border: 1px solid #b7950b; padding: 0.5em 1em; }
 </style></head>
 <body>
 <h1>Diagnosis: {{.App}}</h1>
+{{if .Degraded}}<p class="warn">degraded diagnosis: model(s)
+{{range $i, $m := .SkippedModels}}{{if $i}}, {{end}}{{$m}}{{end}} failed;
+the merge covers only the surviving models.</p>{{end}}
 <p>measured performance: <span class="num">{{printf "%.2f" .ActualMiBps}}</span> MiB/s
  &middot; closest model: {{.ClosestModel}}
  &middot; robust: {{.Robust}}</p>
 <h2>Model predictions</h2>
-<table><tr><th>Model</th><th>Predicted MiB/s</th><th>Weight</th></tr>
+<table><tr><th>Model</th><th>Predicted MiB/s</th><th>Weight</th><th></th></tr>
 {{range .Models}}<tr><td>{{.Name}}</td>
 <td class="num">{{printf "%.2f" .PredictedMiBps}}</td>
-<td class="num">{{printf "%.3f" .Weight}}</td></tr>{{end}}
+<td class="num">{{printf "%.3f" .Weight}}</td>
+<td class="bottleneck">{{.Error}}</td></tr>{{end}}
 </table>
 <h2>Merged contributions (Average Method)</h2>
 <table><tr><th>Counter</th><th>Impact</th><th></th><th>Value</th></tr>
@@ -95,6 +100,7 @@ func (s *Server) handleDiagnoseHTML(w http.ResponseWriter, r *http.Request) {
 		http.Redirect(w, r, "/", http.StatusSeeOther)
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody())
 	if err := r.ParseForm(); err != nil {
 		http.Error(w, "bad form", http.StatusBadRequest)
 		return
@@ -107,8 +113,12 @@ func (s *Server) handleDiagnoseHTML(w http.ResponseWriter, r *http.Request) {
 	// Same lock-free snapshot discipline as the JSON endpoint: never hold
 	// s.mu across the SHAP computation.
 	ens, opts := s.snapshot()
-	diag, err := ens.Diagnose(rec, opts)
+	diag, err := ens.DiagnoseContext(r.Context(), rec, opts)
 	if err != nil {
+		if r.Context().Err() != nil {
+			http.Error(w, "diagnosis cancelled: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, "diagnose: "+err.Error(), http.StatusInternalServerError)
 		return
 	}

@@ -1,0 +1,240 @@
+package webservice
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hpc-repro/aiio/internal/core"
+	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/tune"
+)
+
+func recordBody(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := darshan.WriteLog(&buf, testRecord()); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestRequestTimeoutReturns503(t *testing.T) {
+	s := NewServer(ensemble(t), fastOpts())
+	s.RequestTimeout = time.Nanosecond // expires before any model runs
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Post(srv.URL+"/api/v1/diagnose", "text/plain", recordBody(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadlined diagnosis got HTTP %d, want 503", resp.StatusCode)
+	}
+	var body struct {
+		Error   string `json:"error"`
+		Timeout string `json:"timeout"`
+		Detail  string `json:"detail"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("503 body is not structured JSON: %v", err)
+	}
+	if body.Error == "" || body.Timeout != time.Nanosecond.String() || body.Detail == "" {
+		t.Errorf("503 body incomplete: %+v", body)
+	}
+}
+
+func TestBatchRequestTimeoutReturns503(t *testing.T) {
+	s := NewServer(ensemble(t), fastOpts())
+	s.RequestTimeout = time.Nanosecond
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	recs := []*darshan.Record{testRecord(), testRecord()}
+	if err := darshan.WriteDataset(&buf, &darshan.Dataset{Records: recs}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+"/api/v1/diagnose/batch", "text/plain", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadlined batch got HTTP %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestMaxBodyReturns413(t *testing.T) {
+	s := NewServer(ensemble(t), fastOpts())
+	s.MaxBody = 4096 // a single 45-counter log is ~1.3 KiB
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	big := strings.NewReader(strings.Repeat("# padding comment line\n", 400)) // ~9 KiB
+	resp, err := srv.Client().Post(srv.URL+"/api/v1/diagnose", "text/plain", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body got HTTP %d, want 413", resp.StatusCode)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || !strings.Contains(body.Error, "4096") {
+		t.Errorf("413 body should name the limit: %+v err=%v", body, err)
+	}
+
+	// A body under the limit still works.
+	resp, err = srv.Client().Post(srv.URL+"/api/v1/diagnose", "text/plain", recordBody(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("in-limit body got HTTP %d", resp.StatusCode)
+	}
+}
+
+func TestHandlerPanicRecovered(t *testing.T) {
+	s := NewServer(ensemble(t), fastOpts())
+	s.advise = func(*core.Ensemble, *core.Diagnosis) ([]tune.Recommendation, error) {
+		panic("advisor exploded")
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Post(srv.URL+"/api/v1/diagnose", "text/plain", recordBody(t))
+	if err != nil {
+		t.Fatalf("panicking handler killed the connection: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("handler panic got HTTP %d, want 500", resp.StatusCode)
+	}
+
+	// The server survives and answers the next request normally.
+	s.advise = func(*core.Ensemble, *core.Diagnosis) ([]tune.Recommendation, error) { return nil, nil }
+	resp2, err := srv.Client().Post(srv.URL+"/api/v1/diagnose", "text/plain", recordBody(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("request after recovered panic got HTTP %d", resp2.StatusCode)
+	}
+}
+
+func TestClientRetriesTransientFailures(t *testing.T) {
+	old := retryBase
+	retryBase = time.Millisecond
+	defer func() { retryBase = old }()
+
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			httpError(w, http.StatusServiceUnavailable, "warming up")
+			return
+		}
+		writeJSON(w, http.StatusOK, &DiagnosisResponse{App: "ok"})
+	}))
+	defer srv.Close()
+
+	resp, err := NewClient(srv.URL).Diagnose(testRecord())
+	if err != nil {
+		t.Fatalf("client gave up despite eventual success: %v", err)
+	}
+	if resp.App != "ok" || calls.Load() != 3 {
+		t.Errorf("app=%q calls=%d, want ok after 3 attempts", resp.App, calls.Load())
+	}
+}
+
+func TestClientDoesNotRetryCallerErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		httpError(w, http.StatusBadRequest, "bad log")
+	}))
+	defer srv.Close()
+
+	if _, err := NewClient(srv.URL).Diagnose(testRecord()); err == nil {
+		t.Fatal("400 response must surface as an error")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("client retried a 400: %d calls", calls.Load())
+	}
+}
+
+func TestClientRetryHonorsContext(t *testing.T) {
+	old := retryBase
+	retryBase = 50 * time.Millisecond
+	defer func() { retryBase = old }()
+
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "never ready")
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := NewClient(srv.URL).DiagnoseContext(ctx, testRecord())
+	if err == nil {
+		t.Fatal("want an error from an always-503 server")
+	}
+	// The context expires during the first backoff sleep: no third attempt,
+	// no full 50+100ms backoff schedule.
+	if elapsed := time.Since(start); elapsed > 40*time.Millisecond {
+		t.Errorf("client ignored the context for %v", elapsed)
+	}
+	if calls.Load() > 2 {
+		t.Errorf("client kept retrying past its deadline: %d calls", calls.Load())
+	}
+}
+
+// TestDeadlinedRequestDoesNotLeakGoroutines drives several deadlined
+// requests and checks the goroutine count settles back to its baseline:
+// cooperative cancellation must drain the SHAP worker pool, not abandon it.
+func TestDeadlinedRequestDoesNotLeakGoroutines(t *testing.T) {
+	s := NewServer(ensemble(t), fastOpts())
+	s.RequestTimeout = time.Nanosecond
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		resp, err := srv.Client().Post(srv.URL+"/api/v1/diagnose", "text/plain", recordBody(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("request %d got HTTP %d", i, resp.StatusCode)
+		}
+	}
+	srv.Client().CloseIdleConnections()
+
+	// Allow the pool and the HTTP keep-alive machinery a moment to wind down.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: baseline %d, now %d — cancelled diagnoses leaked workers",
+		baseline, runtime.NumGoroutine())
+}

@@ -7,12 +7,14 @@
 package webservice
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"math"
 	"net/http"
 	"sync"
+	"time"
 
 	"github.com/hpc-repro/aiio/internal/core"
 	"github.com/hpc-repro/aiio/internal/darshan"
@@ -26,11 +28,14 @@ type FactorJSON struct {
 	Value        float64 `json:"value"`
 }
 
-// ModelResult is one performance function's output for the job.
+// ModelResult is one performance function's output for the job. A model
+// that failed (panic, non-finite output) carries its error instead of a
+// prediction and a zero weight.
 type ModelResult struct {
 	Name           string  `json:"name"`
 	PredictedMiBps float64 `json:"predicted_mibps"`
 	Weight         float64 `json:"weight"`
+	Error          string  `json:"error,omitempty"`
 }
 
 // DiagnosisResponse is the JSON body of POST /api/v1/diagnose.
@@ -44,6 +49,10 @@ type DiagnosisResponse struct {
 	// Bottlenecks are the negative factors, most negative first.
 	Bottlenecks []FactorJSON `json:"bottlenecks"`
 	Robust      bool         `json:"robust"`
+	// Degraded is true when one or more models failed and the merge covers
+	// only the surviving subset; SkippedModels names the casualties.
+	Degraded      bool     `json:"degraded,omitempty"`
+	SkippedModels []string `json:"skipped_models,omitempty"`
 	// Recommendations are the tuning advisor's ranked suggestions with
 	// model-predicted gains.
 	Recommendations []RecommendationJSON `json:"recommendations,omitempty"`
@@ -66,8 +75,20 @@ type ModelInfo struct {
 	Kind string `json:"kind"`
 }
 
+// DefaultMaxBody caps a single-log request body when Server.MaxBody is 0.
+// Batch and model-upload endpoints get 4× the single-log cap.
+const DefaultMaxBody = 16 << 20
+
 // Server is the AIIO web service.
 type Server struct {
+	// RequestTimeout, when > 0, is the per-request diagnosis deadline. A
+	// request whose SHAP work outlives it is cancelled cooperatively and
+	// answered with a structured 503 instead of holding a worker forever.
+	RequestTimeout time.Duration
+	// MaxBody caps the accepted request body in bytes (DefaultMaxBody when
+	// 0). An oversized upload is refused with 413.
+	MaxBody int64
+
 	mu   sync.RWMutex
 	ens  *core.Ensemble
 	opts core.DiagnoseOptions
@@ -100,7 +121,8 @@ func (s *Server) snapshot() (*core.Ensemble, core.DiagnoseOptions) {
 	return &core.Ensemble{Models: models}, s.opts
 }
 
-// Handler returns the HTTP routes.
+// Handler returns the HTTP routes, every one wrapped in the protection
+// middleware (panic recovery + per-request deadline).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
@@ -109,7 +131,60 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/models", s.handleModels)
 	mux.HandleFunc("/api/v1/diagnose", s.handleDiagnose)
 	mux.HandleFunc("/api/v1/diagnose/batch", s.handleDiagnoseBatch)
-	return mux
+	return s.protect(mux)
+}
+
+// protect wraps h with the two blanket guards every route gets: a recover
+// that converts a handler panic into a 500 (one hostile request must not
+// take the whole service down), and — when RequestTimeout is set — a
+// context deadline derived per request, so the diagnosis engine's
+// cooperative cancellation bounds how long any request can hold the SHAP
+// workers.
+func (s *Server) protect(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				// Best effort: if the handler already wrote a status this
+				// only appends to the body.
+				httpError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		if s.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) maxBody() int64 {
+	if s.MaxBody > 0 {
+		return s.MaxBody
+	}
+	return DefaultMaxBody
+}
+
+// writeUnavailable answers a request whose diagnosis hit the per-request
+// deadline (or whose client vanished) with a structured 503.
+func (s *Server) writeUnavailable(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":   "diagnosis cancelled before completion",
+		"timeout": s.RequestTimeout.String(),
+		"detail":  err.Error(),
+	})
+}
+
+// bodyError maps a request-body parse failure to a status: 413 when the
+// MaxBytesReader limit tripped, 400 otherwise.
+func bodyError(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+		return
+	}
+	httpError(w, http.StatusBadRequest, fmt.Sprintf("parse log: %v", err))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -142,8 +217,14 @@ func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "name and kind query parameters required")
 		return
 	}
-	m, err := core.LoadModel(name, kind, io.LimitReader(r.Body, 64<<20))
+	m, err := core.LoadModel(name, kind, http.MaxBytesReader(w, r.Body, 4*s.maxBody()))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("model exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("decode model: %v", err))
 		return
 	}
@@ -197,16 +278,20 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST a Darshan text log")
 		return
 	}
-	rec, err := darshan.ParseLog(io.LimitReader(r.Body, 16<<20))
+	rec, err := darshan.ParseLog(http.MaxBytesReader(w, r.Body, s.maxBody()))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("parse log: %v", err))
+		bodyError(w, err)
 		return
 	}
 	// Diagnose against a lock-free snapshot so a concurrent model upload
 	// (write lock) never stalls behind, or waits on, in-flight SHAP work.
 	ens, opts := s.snapshot()
-	diag, err := ens.Diagnose(rec, opts)
+	diag, err := ens.DiagnoseContext(r.Context(), rec, opts)
 	if err != nil {
+		if r.Context().Err() != nil {
+			s.writeUnavailable(w, err)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, fmt.Sprintf("diagnose: %v", err))
 		return
 	}
@@ -237,9 +322,9 @@ func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST a stream of Darshan text logs")
 		return
 	}
-	ds, err := darshan.ParseDataset(io.LimitReader(r.Body, 64<<20))
+	ds, err := darshan.ParseDataset(http.MaxBytesReader(w, r.Body, 4*s.maxBody()))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("parse logs: %v", err))
+		bodyError(w, err)
 		return
 	}
 	if ds.Len() == 0 {
@@ -247,8 +332,12 @@ func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ens, opts := s.snapshot()
-	diags, err := ens.DiagnoseBatch(ds.Records, opts)
+	diags, err := ens.DiagnoseBatchContext(r.Context(), ds.Records, opts)
 	if err != nil {
+		if r.Context().Err() != nil {
+			s.writeUnavailable(w, err)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, fmt.Sprintf("diagnose: %v", err))
 		return
 	}
@@ -261,16 +350,19 @@ func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 
 func buildResponse(diag *core.Diagnosis) *DiagnosisResponse {
 	resp := &DiagnosisResponse{
-		App:          diag.Record.App,
-		ActualMiBps:  diag.ActualMiBps,
-		ClosestModel: diag.PerModel[diag.ClosestIndex].Name,
-		Robust:       diag.IsRobust(),
+		App:           diag.Record.App,
+		ActualMiBps:   diag.ActualMiBps,
+		ClosestModel:  diag.PerModel[diag.ClosestIndex].Name,
+		Robust:        diag.IsRobust(),
+		Degraded:      diag.Degraded,
+		SkippedModels: diag.SkippedModels(),
 	}
 	for i, md := range diag.PerModel {
 		resp.Models = append(resp.Models, ModelResult{
 			Name:           md.Name,
 			PredictedMiBps: md.PredictedMiBps,
 			Weight:         diag.Weights[i],
+			Error:          md.Err,
 		})
 	}
 	for _, f := range diag.TopFactors(0) {
