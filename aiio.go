@@ -25,6 +25,7 @@ import (
 	"github.com/hpc-repro/aiio/internal/darshan"
 	"github.com/hpc-repro/aiio/internal/features"
 	"github.com/hpc-repro/aiio/internal/logdb"
+	"github.com/hpc-repro/aiio/internal/shap"
 	"github.com/hpc-repro/aiio/internal/tune"
 )
 
@@ -58,6 +59,21 @@ type (
 	// Recommendation is one automatic tuning suggestion with its
 	// model-predicted gain.
 	Recommendation = tune.Recommendation
+	// SHAPMode selects the Shapley estimator inside the SHAP interpreters
+	// (see DiagnoseOptions.SHAPMode).
+	SHAPMode = shap.Mode
+)
+
+// SHAP estimator modes for DiagnoseOptions.SHAPMode.
+const (
+	// SHAPModeAuto routes tree-ensemble models through the exact TreeSHAP
+	// fast path and everything else through Kernel SHAP.
+	SHAPModeAuto = shap.ModeAuto
+	// SHAPModeKernel forces the model-agnostic Kernel SHAP estimator.
+	SHAPModeKernel = shap.ModeKernel
+	// SHAPModeTree forces exact TreeSHAP; non-tree models fail (and an
+	// ensemble degrades to its tree members).
+	SHAPModeTree = shap.ModeTree
 )
 
 // The five performance-function names of the paper.

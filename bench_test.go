@@ -20,7 +20,10 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/hpc-repro/aiio/internal/core"
 	"github.com/hpc-repro/aiio/internal/experiments"
+	"github.com/hpc-repro/aiio/internal/features"
+	"github.com/hpc-repro/aiio/internal/shap"
 )
 
 var (
@@ -358,6 +361,95 @@ func BenchmarkAblationSHAPExactVsSampled(b *testing.B) {
 		}
 	}
 	b.ReportMetric(drift, "max-phi-drift")
+}
+
+// benchExplainInput builds the default 45-counter workload the explainer
+// benchmarks share: a simulated IOR job, feature-transformed the way the
+// diagnosis engine feeds the estimators.
+func benchExplainInput(b *testing.B) []float64 {
+	b.Helper()
+	rec, err := SimulateIOR("ior -w -t 1k -b 256k -Y", 8, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return features.TransformRecord(rec)
+}
+
+// BenchmarkExplainGBDT compares the two Shapley estimators on the same
+// trained tree ensemble and the same job: the sampled Kernel SHAP path and
+// the exact TreeSHAP fast path (the headline perf claim — tree must be at
+// least an order of magnitude faster).
+func BenchmarkExplainGBDT(b *testing.B) {
+	e := benchEnvironment(b)
+	ens, _, err := e.Ensemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := ens.Model(ModelLightGBM)
+	tree, ok := core.TreeModel(m)
+	if !ok {
+		b.Fatal("lightgbm model does not expose its tree ensemble")
+	}
+	x := benchExplainInput(b)
+
+	b.Run("kernel", func(b *testing.B) {
+		ex := shap.New(m.PredictBatch, nil, shap.DefaultConfig())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ex.Explain(x)
+		}
+	})
+	b.Run("tree", func(b *testing.B) {
+		ex := shap.NewTree(tree)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ex.Explain(x, nil)
+		}
+	})
+}
+
+// BenchmarkExplainMLP measures the Kernel SHAP path on a neural performance
+// function, the estimator the auto mode keeps for non-tree models.
+func BenchmarkExplainMLP(b *testing.B) {
+	e := benchEnvironment(b)
+	ens, _, err := e.Ensemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := ens.Model(ModelMLP)
+	x := benchExplainInput(b)
+	ex := shap.New(m.PredictBatch, nil, shap.DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.Explain(x)
+	}
+}
+
+// BenchmarkDiagnoseBatch runs the parallel diagnosis engine end to end over
+// a batch of distinct jobs with the default (auto) estimator dispatch.
+func BenchmarkDiagnoseBatch(b *testing.B) {
+	e := benchEnvironment(b)
+	ens, _, err := e.Ensemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := make([]*Record, 8)
+	for i := range recs {
+		recs[i], err = SimulateIOR("ior -w -t 1k -b 256k -Y", 4+2*i, int64(20+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ens.DiagnoseBatch(recs, e.DiagOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkExtensionTuningAdvisor evaluates the automatic tuning advisor

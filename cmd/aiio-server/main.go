@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/hpc-repro/aiio/internal/core"
+	"github.com/hpc-repro/aiio/internal/shap"
 	"github.com/hpc-repro/aiio/internal/webservice"
 )
 
@@ -37,7 +38,11 @@ func main() {
 	modelsDir := flag.String("models", "models", "model registry directory")
 	addr := flag.String("addr", ":8080", "listen address")
 	interp := flag.String("interpreter", "shap", "shap, treeshap or lime")
+	shapMode := flag.String("shap-mode", "auto",
+		"SHAP estimator: auto (exact TreeSHAP for tree models, Kernel SHAP otherwise), kernel, or tree")
 	parallel := flag.Int("parallel", 0, "diagnosis worker pool size (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 0,
+		"diagnosis result cache entries (0 = default 1024, negative disables)")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight diagnoses")
 	requestTimeout := flag.Duration("request-timeout", 2*time.Minute,
 		"per-request diagnosis deadline; expired requests get a structured 503 (0 = none)")
@@ -51,11 +56,17 @@ func main() {
 	}
 	opts := core.DefaultDiagnoseOptions()
 	opts.Interpreter = core.Interpreter(*interp)
+	mode, err := shap.ParseMode(*shapMode)
+	if err != nil {
+		log.Fatalf("aiio-server: %v", err)
+	}
+	opts.SHAPMode = mode
 	opts.Parallelism = *parallel
 
 	ws := webservice.NewServer(ens, opts)
 	ws.RequestTimeout = *requestTimeout
 	ws.MaxBody = *maxBody
+	ws.CacheSize = *cacheSize
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           ws.Handler(),

@@ -37,8 +37,17 @@ const (
 // DiagnoseOptions configures a diagnosis.
 type DiagnoseOptions struct {
 	Interpreter Interpreter
-	SHAP        shap.Config
-	LIME        lime.Config
+	// SHAPMode selects the estimator per model under the SHAP interpreters
+	// (the -shap-mode flag): shap.ModeAuto routes the boosted-tree models to
+	// the exact TreeSHAP fast path and the neural ones to Kernel SHAP;
+	// shap.ModeKernel forces Kernel SHAP everywhere (the paper's uniform
+	// setup); shap.ModeTree requires the tree path, so a neural model's
+	// diagnosis fails and the merge degrades to the tree survivors. Empty
+	// derives the mode from Interpreter: InterpreterSHAP → kernel,
+	// InterpreterTreeSHAP → auto.
+	SHAPMode shap.Mode
+	SHAP     shap.Config
+	LIME     lime.Config
 	// Parallelism bounds the diagnosis worker pool: the concurrent
 	// per-model explanations inside Diagnose and the per-job workers of
 	// DiagnoseBatch. 0 (the default) means runtime.GOMAXPROCS(0); 1 forces
@@ -48,11 +57,14 @@ type DiagnoseOptions struct {
 	Parallelism int
 }
 
-// DefaultDiagnoseOptions uses Kernel SHAP with its defaults, as the paper
-// mostly does.
+// DefaultDiagnoseOptions uses SHAP with automatic estimator selection:
+// exact TreeSHAP for the three boosted-tree models, Kernel SHAP (paper
+// defaults) for MLP and TabNet. Set SHAPMode to shap.ModeKernel for the
+// paper's uniform model-agnostic setup.
 func DefaultDiagnoseOptions() DiagnoseOptions {
 	return DiagnoseOptions{
 		Interpreter: InterpreterSHAP,
+		SHAPMode:    shap.ModeAuto,
 		SHAP:        shap.DefaultConfig(),
 		LIME:        lime.DefaultConfig(),
 	}
@@ -146,6 +158,11 @@ func (e *Ensemble) DiagnoseContext(ctx context.Context, rec *darshan.Record, opt
 	default:
 		return nil, fmt.Errorf("core: unknown interpreter %q", opts.Interpreter)
 	}
+	switch opts.SHAPMode {
+	case "", shap.ModeAuto, shap.ModeKernel, shap.ModeTree:
+	default:
+		return nil, fmt.Errorf("core: unknown shap mode %q (want auto, kernel or tree)", opts.SHAPMode)
+	}
 	// Sanitize the performance tag: a NaN/Inf/negative tag (corrupt log)
 	// would otherwise poison every Eq. 8 weight. Identity on valid records.
 	perf := features.Sanitize(rec.PerfMiBps)
@@ -232,18 +249,13 @@ func diagnoseModel(ctx context.Context, m Model, x []float64, opts DiagnoseOptio
 	md := ModelDiagnosis{Name: m.Name()}
 	switch opts.Interpreter {
 	case InterpreterSHAP, InterpreterTreeSHAP:
-		var ex shap.Explanation
-		if gm, ok := TreeModel(m); ok && opts.Interpreter == InterpreterTreeSHAP {
-			if err := ctx.Err(); err != nil {
-				return md, err
-			}
-			ex = shap.NewTree(gm).Explain(x, nil)
-		} else {
-			var err error
-			ex, err = shap.New(m.PredictBatch, nil, opts.SHAP).ExplainContext(ctx, x)
-			if err != nil {
-				return md, err
-			}
+		att, err := attributorFor(m, opts)
+		if err != nil {
+			return md, err
+		}
+		ex, err := att.Attribute(ctx, x)
+		if err != nil {
+			return md, err
 		}
 		md.Predicted = ex.FX
 		md.Base = ex.Base
@@ -268,6 +280,23 @@ func diagnoseModel(ctx context.Context, m Model, x []float64, opts DiagnoseOptio
 		return md, err
 	}
 	return md, nil
+}
+
+// attributorFor selects one model's SHAP estimator through the shap.ForModel
+// dispatcher: the effective mode is opts.SHAPMode, or — when unset — kernel
+// under InterpreterSHAP and auto under InterpreterTreeSHAP (the historical
+// meanings of the two interpreter values). The zero background is AIIO's
+// Section 3.3 filter.
+func attributorFor(m Model, opts DiagnoseOptions) (shap.Attributor, error) {
+	mode := opts.SHAPMode
+	if mode == "" {
+		mode = shap.ModeKernel
+		if opts.Interpreter == InterpreterTreeSHAP {
+			mode = shap.ModeAuto
+		}
+	}
+	tree, _ := TreeModel(m)
+	return shap.ForModel(m.PredictBatch, tree, nil, mode, opts.SHAP)
 }
 
 // checkFinite rejects a model diagnosis carrying NaN/Inf — the signature of

@@ -22,7 +22,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
+	"sync"
 
 	"github.com/hpc-repro/aiio/internal/linalg"
 )
@@ -79,11 +81,44 @@ func (e *Explanation) AdditivityError() float64 {
 	return math.Abs(s - e.FX)
 }
 
-// Explainer computes SHAP values against a fixed background.
+// Explainer computes SHAP values against a fixed background. It keeps the
+// coalition masks, the coalition input matrix and the WLS buffers in a
+// scratch area reused across calls, so the steady-state allocations of an
+// Explain are the returned Phi slice and the model's own output batches. A
+// mutex serializes concurrent Explain calls on one explainer; independent
+// explainers (as core.Diagnose builds per model per job) never contend.
 type Explainer struct {
 	f          PredictFunc
 	background []float64
 	cfg        Config
+
+	mu sync.Mutex
+	sc scratch
+}
+
+// scratch is the per-explainer reusable buffer set. Coalition masks are
+// uint64 bitsets: coalition i occupies words [i*words, (i+1)*words) of the
+// masks slab, where words = ceil(m/64) for m active features (a single word
+// for AIIO's 45-counter schema).
+type scratch struct {
+	active  []int
+	pair    []float64 // 2-row matrix backing for evalPair
+	masks   []uint64
+	weights []float64
+	inputs  []float64 // coalition input matrix backing
+	z       []float64 // WLS design matrix backing
+	y, w    []float64
+	perm    []int
+	sizeW   []float64 // per-coalition-size Shapley weights
+}
+
+// growF returns buf resized to n floats, reusing its capacity; contents are
+// unspecified (every caller fully overwrites).
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // New creates an explainer. AIIO initializes the background filter to zero
@@ -123,13 +158,17 @@ func (e *Explainer) ExplainContext(ctx context.Context, x []float64) (Explanatio
 		panic(fmt.Sprintf("shap: background dim %d vs input dim %d", len(bg), len(x)))
 	}
 
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
 	// Active set: features differing from the background.
-	active := make([]int, 0, len(x))
+	active := e.sc.active[:0]
 	for j := range x {
 		if x[j] != bg[j] {
 			active = append(active, j)
 		}
 	}
+	e.sc.active = active
 
 	out := Explanation{Phi: make([]float64, len(x))}
 	base, fx, err := e.evalPair(ctx, bg, x)
@@ -164,7 +203,8 @@ func (e *Explainer) evalPair(ctx context.Context, bg, x []float64) (base, fx flo
 	if err := ctx.Err(); err != nil {
 		return 0, 0, err
 	}
-	m := linalg.NewMatrix(2, len(x))
+	e.sc.pair = growF(e.sc.pair, 2*len(x))
+	m := &linalg.Matrix{Rows: 2, Cols: len(x), Data: e.sc.pair}
 	copy(m.Row(0), bg)
 	copy(m.Row(1), x)
 	p := e.f(m)
@@ -208,15 +248,15 @@ func (e *Explainer) exact(ctx context.Context, x, bg []float64, active []int, ou
 	m := len(active)
 	n := 1 << m
 
-	// Evaluate f on every coalition input.
-	inputs := linalg.NewMatrix(n, len(x))
+	// Evaluate f on every coalition input (matrix backing reused).
+	e.sc.inputs = growF(e.sc.inputs, n*len(x))
+	inputs := &linalg.Matrix{Rows: n, Cols: len(x), Data: e.sc.inputs}
 	for mask := 0; mask < n; mask++ {
 		row := inputs.Row(mask)
 		copy(row, bg)
-		for b := 0; b < m; b++ {
-			if mask&(1<<b) != 0 {
-				row[active[b]] = x[active[b]]
-			}
+		for v := uint64(mask); v != 0; v &= v - 1 {
+			j := active[bits.TrailingZeros64(v)]
+			row[j] = x[j]
 		}
 	}
 	vals, err := EvalChunked(ctx, e.f, inputs)
@@ -225,7 +265,8 @@ func (e *Explainer) exact(ctx context.Context, x, bg []float64, active []int, ou
 	}
 
 	// Precompute |S|!(M-|S|-1)!/M! per coalition size.
-	weight := make([]float64, m)
+	weight := growF(e.sc.sizeW, m)
+	e.sc.sizeW = weight
 	for s := 0; s < m; s++ {
 		weight[s] = 1 / (float64(m) * binom(m-1, s))
 	}
@@ -237,22 +278,13 @@ func (e *Explainer) exact(ctx context.Context, x, bg []float64, active []int, ou
 			if mask&bit != 0 {
 				continue
 			}
-			s := popcount(mask)
+			s := bits.OnesCount64(uint64(mask))
 			phi += weight[s] * (vals[mask|bit] - vals[mask])
 		}
 		out.Phi[active[b]] = phi
 	}
 	out.Exact = true
 	return nil
-}
-
-func popcount(v int) int {
-	c := 0
-	for v != 0 {
-		v &= v - 1
-		c++
-	}
-	return c
 }
 
 // binom returns C(n, k) as float64.
@@ -272,16 +304,36 @@ func binom(n, k int) float64 {
 
 // sampled runs the Kernel SHAP WLS estimator with paired coalition
 // enumeration/sampling, following the shap package's KernelExplainer.
+// Coalitions live as uint64 bitsets in the scratch slab; the coalition
+// input matrix and the WLS design/target/weight buffers are reused across
+// calls. The coalition set and the estimate are identical to the previous
+// []bool implementation for any given seed.
 func (e *Explainer) sampled(ctx context.Context, x, bg []float64, active []int, out *Explanation) error {
 	m := len(active)
+	words := (m + 63) / 64
 	budget := e.cfg.NSamples
 	rng := rand.New(rand.NewSource(e.cfg.Seed))
 
-	type coalition struct {
-		mask   []bool
-		weight float64
+	sc := &e.sc
+	sc.masks = sc.masks[:0]
+	sc.weights = sc.weights[:0]
+	nCoal := 0
+	// addCoalition appends one zeroed bitset + weight and returns the mask
+	// words for the caller to fill.
+	addCoalition := func(weight float64) []uint64 {
+		for i := 0; i < words; i++ {
+			sc.masks = append(sc.masks, 0)
+		}
+		sc.weights = append(sc.weights, weight)
+		nCoal++
+		return sc.masks[len(sc.masks)-words:]
 	}
-	var coalitions []coalition
+	maskOf := func(i int) []uint64 { return sc.masks[i*words : (i+1)*words] }
+	getBit := func(mask []uint64, b int) bool { return mask[b>>6]>>(b&63)&1 == 1 }
+	lastWord := ^uint64(0) // valid-bit mask of the slab's final word
+	if m&63 != 0 {
+		lastWord = 1<<(m&63) - 1
+	}
 
 	// Shapley kernel weight per size, paired (s and m-s together).
 	sizeWeight := func(s int) float64 {
@@ -299,7 +351,7 @@ func (e *Explainer) sampled(ctx context.Context, x, bg []float64, active []int, 
 	}
 
 	used := 0
-	completeSizes := make(map[int]bool)
+	lastComplete := 0 // sizes 1..lastComplete fully enumerated
 	for s := 1; s <= maxPair; s++ {
 		cnt := binom(m, s)
 		total := cnt
@@ -317,22 +369,22 @@ func (e *Explainer) sampled(ctx context.Context, x, bg []float64, active []int, 
 		}
 		per := w / total
 		forEachSubset(m, s, func(idx []int) {
-			mask := make([]bool, m)
+			mask := addCoalition(per)
 			for _, i := range idx {
-				mask[i] = true
+				mask[i>>6] |= 1 << (i & 63)
 			}
-			coalitions = append(coalitions, coalition{mask: mask, weight: per})
 			if s != m-s {
-				comp := make([]bool, m)
-				for i := range comp {
-					comp[i] = !mask[i]
+				comp := addCoalition(per)
+				mask = maskOf(nCoal - 2) // addCoalition may have regrown the slab
+				for wi := range comp {
+					comp[wi] = ^mask[wi]
 				}
-				coalitions = append(coalitions, coalition{mask: comp, weight: per})
+				comp[words-1] &= lastWord
 			}
 		})
 		used += int(total)
 		remainingWeight -= w
-		completeSizes[s] = true
+		lastComplete = s
 	}
 
 	// Random sampling for the remaining budget across incomplete sizes.
@@ -340,10 +392,7 @@ func (e *Explainer) sampled(ctx context.Context, x, bg []float64, active []int, 
 		var sizes []int
 		var cumw []float64
 		tot := 0.0
-		for s := 1; s <= maxPair; s++ {
-			if completeSizes[s] {
-				continue
-			}
+		for s := lastComplete + 1; s <= maxPair; s++ {
 			w := sizeWeight(s)
 			if s != m-s {
 				w *= 2
@@ -355,7 +404,10 @@ func (e *Explainer) sampled(ctx context.Context, x, bg []float64, active []int, 
 		nRand := budget - used
 		if nRand > 0 && len(sizes) > 0 {
 			per := remainingWeight / float64(nRand) // equal weight per sample
-			perm := make([]int, m)
+			if cap(sc.perm) < m {
+				sc.perm = make([]int, m)
+			}
+			perm := sc.perm[:m]
 			for i := range perm {
 				perm[i] = i
 			}
@@ -370,23 +422,24 @@ func (e *Explainer) sampled(ctx context.Context, x, bg []float64, active []int, 
 					s = m - s
 				}
 				rng.Shuffle(m, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
-				mask := make([]bool, m)
+				mask := addCoalition(per)
 				for _, i := range perm[:s] {
-					mask[i] = true
+					mask[i>>6] |= 1 << (i & 63)
 				}
-				coalitions = append(coalitions, coalition{mask: mask, weight: per})
 			}
 		}
 	}
 
-	// Evaluate f on every coalition.
-	inputs := linalg.NewMatrix(len(coalitions), len(x))
-	for i, c := range coalitions {
+	// Evaluate f on every coalition (matrix backing reused).
+	sc.inputs = growF(sc.inputs, nCoal*len(x))
+	inputs := &linalg.Matrix{Rows: nCoal, Cols: len(x), Data: sc.inputs}
+	for i := 0; i < nCoal; i++ {
 		row := inputs.Row(i)
 		copy(row, bg)
-		for b, on := range c.mask {
-			if on {
-				row[active[b]] = x[active[b]]
+		for wi, v := range maskOf(i) {
+			for ; v != 0; v &= v - 1 {
+				j := active[wi<<6+bits.TrailingZeros64(v)]
+				row[j] = x[j]
 			}
 		}
 	}
@@ -399,24 +452,27 @@ func (e *Explainer) sampled(ctx context.Context, x, bg []float64, active []int, 
 	// efficiency constraint Σ phi = fx - base.
 	delta := out.FX - out.Base
 	zCols := m - 1
-	zm := linalg.NewMatrix(len(coalitions), zCols)
-	yv := make([]float64, len(coalitions))
-	wv := make([]float64, len(coalitions))
-	for i, c := range coalitions {
+	sc.z = growF(sc.z, nCoal*zCols)
+	zm := &linalg.Matrix{Rows: nCoal, Cols: zCols, Data: sc.z}
+	yv := growF(sc.y, nCoal)
+	wv := growF(sc.w, nCoal)
+	sc.y, sc.w = yv, wv
+	for i := 0; i < nCoal; i++ {
+		mask := maskOf(i)
 		last := 0.0
-		if c.mask[m-1] {
+		if getBit(mask, m-1) {
 			last = 1
 		}
 		row := zm.Row(i)
 		for b := 0; b < zCols; b++ {
 			zb := 0.0
-			if c.mask[b] {
+			if getBit(mask, b) {
 				zb = 1
 			}
 			row[b] = zb - last
 		}
 		yv[i] = vals[i] - out.Base - last*delta
-		wv[i] = c.weight
+		wv[i] = sc.weights[i]
 	}
 	beta, err := linalg.WeightedRidge(zm, yv, wv, e.cfg.Ridge, false)
 	if err != nil {

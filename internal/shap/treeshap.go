@@ -1,6 +1,8 @@
 package shap
 
 import (
+	"sync"
+
 	"github.com/hpc-repro/aiio/internal/gbdt"
 )
 
@@ -20,60 +22,65 @@ import (
 //	φ_i = −v·p!·(q−1)!/(p+q)!  for an r-feature i
 //
 // Summing over all leaves of all trees gives exact Shapley values in
-// O(Σ leaves × depth) — no sampling, no 2^M enumeration. The result matches
-// the exact Kernel SHAP enumerator up to float rounding (see
-// TestTreeSHAPMatchesExactKernel).
+// O(Σ leaves × depth) — no sampling, no 2^M enumeration, no model
+// evaluation. The result matches the exact Kernel SHAP enumerator up to
+// float rounding (see TestTreeSHAPMatchesExactKernel).
+//
+// The explainer keeps per-feature fold state and reuses it across calls
+// (a mutex serializes Explain), so the steady-state cost is the traversal
+// alone: a subtree in which some feature's literals can be satisfied by
+// neither x nor r is unreachable under every coalition and is pruned
+// without descending.
 type TreeExplainer struct {
 	model *gbdt.Model
+	// background is the fixed reference of Attribute; nil means all-zero.
+	background []float64
+
+	mu sync.Mutex
+	// Per-feature fold state of the current root-to-leaf path, reused
+	// across calls. pathLits counts literals on the path per feature;
+	// xBad/rBad count those violated when the feature comes from x / from
+	// the reference. feats lists the distinct on-path features.
+	pathLits, xBad, rBad []int32
+	feats                []int32
 }
 
-// NewTree wraps a trained GBDT.
+// NewTree wraps a trained GBDT with the zero background.
 func NewTree(m *gbdt.Model) *TreeExplainer {
 	return &TreeExplainer{model: m}
 }
 
-// pathLit is one split literal on the current root-to-leaf path: whether x
-// and the reference satisfy it.
-type pathLit struct {
-	feature  int32
-	xOK, rOK bool
+// NewTreeBackground wraps a trained GBDT with a fixed background reference
+// for Attribute (nil means all-zero, AIIO's filter).
+func NewTreeBackground(m *gbdt.Model, background []float64) *TreeExplainer {
+	return &TreeExplainer{model: m, background: background}
 }
 
 // Explain computes SHAP values of x against the background (nil = zeros).
 // Features equal to the background receive exactly zero contribution, as in
-// the Kernel explainer.
+// the Kernel explainer: such a feature's literals are satisfied by x and
+// the reference alike, so it is never an x- or r-feature of any leaf.
 func (e *TreeExplainer) Explain(x, background []float64) Explanation {
 	bg := background
 	if bg == nil {
 		bg = make([]float64, len(x))
 	}
 	phi := make([]float64, len(x))
+
+	e.mu.Lock()
+	if len(e.pathLits) < len(x) {
+		e.pathLits = make([]int32, len(x))
+		e.xBad = make([]int32, len(x))
+		e.rBad = make([]int32, len(x))
+	}
 	base, fx := e.model.Base, e.model.Base
-
-	var path []pathLit
-	var walk func(t *gbdt.Tree, node int32)
-	walk = func(t *gbdt.Tree, node int32) {
-		n := &t.Nodes[node]
-		if n.Feature < 0 {
-			accumulateLeaf(n.Value, path, phi, &base, &fx)
-			return
-		}
-		xLeft := x[n.Feature] <= n.Threshold
-		rLeft := bg[n.Feature] <= n.Threshold
-		path = append(path, pathLit{n.Feature, xLeft, rLeft})
-		walk(t, n.Left)
-		path = path[:len(path)-1]
-		path = append(path, pathLit{n.Feature, !xLeft, !rLeft})
-		walk(t, n.Right)
-		path = path[:len(path)-1]
-	}
 	for _, t := range e.model.Trees {
-		walk(t, 0)
+		base, fx = e.walk(t, 0, x, bg, phi, base, fx)
 	}
+	e.mu.Unlock()
 
-	// The sparsity rule: features equal to the background produce only
-	// "free" literals (xOK == rOK at every node), so their phi is
-	// structurally zero; clamp any float dust.
+	// The robustness rule holds structurally (see above); the clamp keeps
+	// the invariant exact even if a backend ever produced -0.0 dust.
 	for j := range phi {
 		if x[j] == bg[j] {
 			phi[j] = 0
@@ -82,57 +89,95 @@ func (e *TreeExplainer) Explain(x, background []float64) Explanation {
 	return Explanation{Phi: phi, Base: base, FX: fx, Exact: true}
 }
 
-// accumulateLeaf folds the path literals per feature and adds the leaf's
-// closed-form Shapley terms.
-func accumulateLeaf(v float64, path []pathLit, phi []float64, base, fx *float64) {
-	// Fold repeated features: the leaf needs ALL its literals on a feature
-	// satisfied by whichever side (x or r) supplies the value.
-	type agg struct{ xOK, rOK bool }
-	seen := make(map[int32]agg, len(path))
-	for _, l := range path {
-		a, ok := seen[l.feature]
-		if !ok {
-			a = agg{true, true}
-		}
-		a.xOK = a.xOK && l.xOK
-		a.rOK = a.rOK && l.rOK
-		seen[l.feature] = a
+// walk descends one tree accumulating the closed-form leaf terms, threading
+// base/fx through so a leaf reachable by the pure reference (p == 0) or the
+// pure x path (q == 0) contributes to them.
+func (e *TreeExplainer) walk(t *gbdt.Tree, node int32, x, bg, phi []float64, base, fx float64) (float64, float64) {
+	n := &t.Nodes[node]
+	if n.Feature < 0 {
+		return e.leaf(n.Value, phi, base, fx)
 	}
-	var xFeat, rFeat []int32
-	for f, a := range seen {
+	xLeft := x[n.Feature] <= n.Threshold
+	rLeft := bg[n.Feature] <= n.Threshold
+
+	base, fx = e.branch(t, n.Left, n.Feature, xLeft, rLeft, x, bg, phi, base, fx)
+	return e.branch(t, n.Right, n.Feature, !xLeft, !rLeft, x, bg, phi, base, fx)
+}
+
+// branch pushes one split literal (feature f, satisfied by x iff xOK and by
+// the reference iff rOK), recurses, and pops. A feature whose on-path
+// literals can be satisfied by neither side makes every leaf below
+// unreachable under every coalition, so the subtree is pruned.
+func (e *TreeExplainer) branch(t *gbdt.Tree, child, f int32, xOK, rOK bool, x, bg, phi []float64, base, fx float64) (float64, float64) {
+	if !xOK && !rOK {
+		return base, fx // the literal itself is unsatisfiable: dead subtree
+	}
+	if e.pathLits[f] == 0 {
+		e.feats = append(e.feats, f)
+	}
+	e.pathLits[f]++
+	if !xOK {
+		e.xBad[f]++
+	}
+	if !rOK {
+		e.rBad[f]++
+	}
+	if e.xBad[f] == 0 || e.rBad[f] == 0 {
+		base, fx = e.walk(t, child, x, bg, phi, base, fx)
+	} // else: conflicting literals on f — dead subtree, pruned
+	e.pathLits[f]--
+	if !xOK {
+		e.xBad[f]--
+	}
+	if !rOK {
+		e.rBad[f]--
+	}
+	if e.pathLits[f] == 0 {
+		e.feats = e.feats[:len(e.feats)-1]
+	}
+	return base, fx
+}
+
+// leaf folds the distinct on-path features and adds the leaf's closed-form
+// Shapley terms. Pruning guarantees no on-path feature is dead here.
+func (e *TreeExplainer) leaf(v float64, phi []float64, base, fx float64) (float64, float64) {
+	p, q := 0, 0
+	for _, f := range e.feats {
 		switch {
-		case a.xOK && a.rOK:
+		case e.xBad[f] == 0 && e.rBad[f] == 0:
 			// Free feature: satisfied from either side.
-		case a.xOK:
-			xFeat = append(xFeat, f)
-		case a.rOK:
-			rFeat = append(rFeat, f)
+		case e.xBad[f] == 0:
+			p++ // needs its value from x
 		default:
-			return // unreachable under every coalition
+			q++ // needs its value from the reference
 		}
 	}
-	p, q := len(xFeat), len(rFeat)
 	if p == 0 {
-		*base += v // reachable by the pure reference path (S = ∅)
+		base += v // reachable by the pure reference path (S = ∅)
 	}
 	if q == 0 {
-		*fx += v // reachable by the pure x path (S = everything)
+		fx += v // reachable by the pure x path (S = everything)
 	}
 	if p == 0 && q == 0 {
-		return // free leaf: no attribution
+		return base, fx // free leaf: no attribution
 	}
+	var wx, wr float64
 	if p > 0 {
-		w := factRatio(p-1, q)
-		for _, f := range xFeat {
-			phi[f] += v * w
-		}
+		wx = v * factRatio(p-1, q)
 	}
 	if q > 0 {
-		w := factRatio(p, q-1)
-		for _, f := range rFeat {
-			phi[f] -= v * w
+		wr = v * factRatio(p, q-1)
+	}
+	for _, f := range e.feats {
+		switch {
+		case e.xBad[f] == 0 && e.rBad[f] == 0:
+		case e.xBad[f] == 0:
+			phi[f] += wx
+		default:
+			phi[f] -= wr
 		}
 	}
+	return base, fx
 }
 
 // factRatio returns a!·b!/(a+b+1)! = 1/((a+b+1)·C(a+b, a)).

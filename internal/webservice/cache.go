@@ -1,0 +1,116 @@
+package webservice
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"github.com/hpc-repro/aiio/internal/core"
+	"github.com/hpc-repro/aiio/internal/darshan"
+)
+
+// DefaultCacheSize bounds the diagnosis result cache when Server.CacheSize
+// is 0. One entry retains a full five-model Diagnosis (~tens of KB); the
+// default keeps the cache under a few dozen MB.
+const DefaultCacheSize = 1024
+
+// diagCache is a bounded LRU of finished diagnoses. The web service's hot
+// path — the multi-second SHAP work of POST /api/v1/diagnose — is keyed by
+// everything a diagnosis depends on: the model-set version (bumped on every
+// model upload, so stale ensembles can never serve) and the job's full
+// identity (application, performance tag, all 45 counters). The key embeds
+// the exact float bits rather than a hash, so two distinct jobs can never
+// collide; repeat queries for the same job are O(1).
+//
+// Cached *core.Diagnosis values are shared across requests and must be
+// treated as immutable by every reader (buildResponse and the advisor only
+// read).
+type diagCache struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key  string
+	diag *core.Diagnosis
+}
+
+func newDiagCache(capacity int) *diagCache {
+	return &diagCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached diagnosis for key and marks it most recently used.
+func (c *diagCache) get(key string) (*core.Diagnosis, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).diag, true
+}
+
+// put inserts a diagnosis, evicting the least recently used entry past the
+// capacity bound.
+func (c *diagCache) put(key string, d *core.Diagnosis) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).diag = d
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, diag: d})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// purge drops every entry (model upload invalidation); the hit/miss
+// counters survive for observability.
+func (c *diagCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.entries = make(map[string]*list.Element, c.cap)
+}
+
+// stats reports the counters and current size.
+func (c *diagCache) stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}
+
+// cacheKey serializes (model-set version, job identity) into a map key. The
+// version prefix makes every pre-upload entry unreachable even before the
+// purge lands.
+func cacheKey(version uint64, rec *darshan.Record) string {
+	buf := make([]byte, 0, 8+len(rec.App)+1+8*(int(darshan.NumCounters)+1))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], version)
+	buf = append(buf, b[:]...)
+	buf = append(buf, rec.App...)
+	buf = append(buf, 0) // terminator: app names cannot forge counter bytes
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(rec.PerfMiBps))
+	buf = append(buf, b[:]...)
+	for _, c := range rec.Counters {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(c))
+		buf = append(buf, b[:]...)
+	}
+	return string(buf)
+}

@@ -112,7 +112,7 @@ func (s *Server) handleDiagnoseHTML(w http.ResponseWriter, r *http.Request) {
 	}
 	// Same lock-free snapshot discipline as the JSON endpoint: never hold
 	// s.mu across the SHAP computation.
-	ens, opts := s.snapshot()
+	ens, opts, _ := s.snapshot()
 	diag, err := ens.DiagnoseContext(r.Context(), rec, opts)
 	if err != nil {
 		if r.Context().Err() != nil {

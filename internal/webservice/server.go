@@ -88,10 +88,23 @@ type Server struct {
 	// MaxBody caps the accepted request body in bytes (DefaultMaxBody when
 	// 0). An oversized upload is refused with 413.
 	MaxBody int64
+	// CacheSize bounds the LRU cache of diagnosis results (DefaultCacheSize
+	// when 0, negative disables caching). A cached entry is keyed by the
+	// model-set version and the job's full identity, so repeat diagnoses of
+	// the same log skip the SHAP work entirely; every model upload
+	// invalidates the whole cache. Set before the first request.
+	CacheSize int
+
+	// cacheOnce pins the cache (or its absence) at first use.
+	cacheOnce sync.Once
+	cache     *diagCache
 
 	mu   sync.RWMutex
 	ens  *core.Ensemble
 	opts core.DiagnoseOptions
+	// version counts model-set generations: it starts at 1 and each upload
+	// increments it, so cache keys from older ensembles can never match.
+	version uint64
 	// advise produces tuning recommendations for a finished diagnosis; a
 	// field so tests can inject failures. An advise error never fails the
 	// diagnosis — it degrades to AdvisoryError in the response.
@@ -101,12 +114,28 @@ type Server struct {
 // NewServer wraps a trained ensemble.
 func NewServer(ens *core.Ensemble, opts core.DiagnoseOptions) *Server {
 	return &Server{
-		ens:  ens,
-		opts: opts,
+		ens:     ens,
+		opts:    opts,
+		version: 1,
 		advise: func(e *core.Ensemble, d *core.Diagnosis) ([]tune.Recommendation, error) {
 			return tune.New(e).Advise(d, 1.05)
 		},
 	}
+}
+
+// diagnosisCache returns the result cache, created at first use from
+// CacheSize; nil when caching is disabled.
+func (s *Server) diagnosisCache() *diagCache {
+	s.cacheOnce.Do(func() {
+		size := s.CacheSize
+		if size == 0 {
+			size = DefaultCacheSize
+		}
+		if size > 0 {
+			s.cache = newDiagCache(size)
+		}
+	})
+	return s.cache
 }
 
 // snapshot returns the current model set and options without holding any
@@ -114,11 +143,11 @@ func NewServer(ens *core.Ensemble, opts core.DiagnoseOptions) *Server {
 // is copied under a read lock and a concurrent upload swaps in a new slice
 // element rather than mutating a model in place, so diagnoses in flight
 // keep working against the set they started with.
-func (s *Server) snapshot() (*core.Ensemble, core.DiagnoseOptions) {
+func (s *Server) snapshot() (*core.Ensemble, core.DiagnoseOptions, uint64) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	models := append([]core.Model(nil), s.ens.Models...)
-	return &core.Ensemble{Models: models}, s.opts
+	return &core.Ensemble{Models: models}, s.opts, s.version
 }
 
 // Handler returns the HTTP routes, every one wrapped in the protection
@@ -188,7 +217,12 @@ func bodyError(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	body := map[string]any{"status": "ok"}
+	if c := s.diagnosisCache(); c != nil {
+		hits, misses, size := c.stats()
+		body["cache"] = map[string]any{"hits": hits, "misses": misses, "size": size}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -245,6 +279,13 @@ func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
 	if !replaced {
 		s.ens.Models = append(s.ens.Models, m)
 	}
+	// The new model invalidates every cached diagnosis: bump the version so
+	// in-flight requests keyed against the old set can never hit, and purge
+	// the entries outright.
+	s.version++
+	if c := s.diagnosisCache(); c != nil {
+		c.purge()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"name": name, "replaced": replaced})
 }
 
@@ -285,15 +326,32 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	}
 	// Diagnose against a lock-free snapshot so a concurrent model upload
 	// (write lock) never stalls behind, or waits on, in-flight SHAP work.
-	ens, opts := s.snapshot()
-	diag, err := ens.DiagnoseContext(r.Context(), rec, opts)
-	if err != nil {
-		if r.Context().Err() != nil {
-			s.writeUnavailable(w, err)
+	ens, opts, version := s.snapshot()
+	cache := s.diagnosisCache()
+	var key string
+	var diag *core.Diagnosis
+	if cache != nil {
+		key = cacheKey(version, rec)
+		if d, ok := cache.get(key); ok {
+			diag = d
+			w.Header().Set("X-AIIO-Cache", "hit")
+		}
+	}
+	if diag == nil {
+		var err error
+		diag, err = ens.DiagnoseContext(r.Context(), rec, opts)
+		if err != nil {
+			if r.Context().Err() != nil {
+				s.writeUnavailable(w, err)
+				return
+			}
+			httpError(w, http.StatusInternalServerError, fmt.Sprintf("diagnose: %v", err))
 			return
 		}
-		httpError(w, http.StatusInternalServerError, fmt.Sprintf("diagnose: %v", err))
-		return
+		if cache != nil {
+			cache.put(key, diag)
+			w.Header().Set("X-AIIO-Cache", "miss")
+		}
 	}
 	resp := buildResponse(diag)
 	// The advisor is best-effort: a failure degrades to an advisory-error
@@ -331,15 +389,49 @@ func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "no records in request body")
 		return
 	}
-	ens, opts := s.snapshot()
-	diags, err := ens.DiagnoseBatchContext(r.Context(), ds.Records, opts)
-	if err != nil {
-		if r.Context().Err() != nil {
-			s.writeUnavailable(w, err)
+	ens, opts, version := s.snapshot()
+	cache := s.diagnosisCache()
+
+	// Resolve each record against the cache first, then run the parallel
+	// engine only over the misses and stitch the results back in order.
+	diags := make([]*core.Diagnosis, ds.Len())
+	keys := make([]string, ds.Len())
+	var missIdx []int
+	hits := 0
+	for i, rec := range ds.Records {
+		if cache != nil {
+			keys[i] = cacheKey(version, rec)
+			if d, ok := cache.get(keys[i]); ok {
+				diags[i] = d
+				hits++
+				continue
+			}
+		}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) > 0 {
+		missRecs := make([]*darshan.Record, len(missIdx))
+		for k, i := range missIdx {
+			missRecs[k] = ds.Records[i]
+		}
+		fresh, err := ens.DiagnoseBatchContext(r.Context(), missRecs, opts)
+		if err != nil {
+			if r.Context().Err() != nil {
+				s.writeUnavailable(w, err)
+				return
+			}
+			httpError(w, http.StatusInternalServerError, fmt.Sprintf("diagnose: %v", err))
 			return
 		}
-		httpError(w, http.StatusInternalServerError, fmt.Sprintf("diagnose: %v", err))
-		return
+		for k, i := range missIdx {
+			diags[i] = fresh[k]
+			if cache != nil {
+				cache.put(keys[i], fresh[k])
+			}
+		}
+	}
+	if cache != nil {
+		w.Header().Set("X-AIIO-Cache", fmt.Sprintf("hits=%d misses=%d", hits, len(missIdx)))
 	}
 	resps := make([]*DiagnosisResponse, len(diags))
 	for i, diag := range diags {
