@@ -4,18 +4,35 @@
 //
 //	aiio-server -models models/ -addr :8080 [-parallel N] [-drain 30s]
 //	            [-request-timeout 2m] [-max-body 16777216]
+//	            [-max-inflight 16] [-queue-depth 64] [-breaker-threshold 5]
 //
 // Endpoints:
 //
-//	GET  /healthz                  liveness
+//	GET  /healthz                  liveness (process up)
+//	GET  /readyz                   readiness (serving traffic; red while
+//	                               draining, with every circuit breaker
+//	                               open, or with no model generation)
 //	GET  /api/v1/models            registered models
 //	POST /api/v1/models            upload a pre-trained model (?name=&kind=)
+//	                               — validated hot-swap with rollback,
+//	                               persisted as a new registry generation
 //	POST /api/v1/diagnose          Darshan text log -> JSON diagnosis
 //	POST /api/v1/diagnose/batch    stream of logs -> JSON diagnosis array
 //
-// On SIGINT/SIGTERM the server stops accepting connections and drains
-// in-flight diagnoses for up to the -drain timeout before exiting, so a
-// redeploy never discards work already underway.
+// The diagnosis endpoints sit behind a bounded admission queue: at most
+// -max-inflight requests execute concurrently per endpoint, at most
+// -queue-depth wait, and everything beyond that is shed immediately with
+// 429 + Retry-After. Each model carries a circuit breaker that takes it
+// out of rotation after -breaker-threshold consecutive failures.
+//
+// Models are loaded from the versioned, checksummed registry: a corrupt
+// generation is rejected and the newest older generation serves instead
+// (surfaced on /readyz), so a torn write or bit rot degrades the server
+// rather than killing it.
+//
+// On SIGINT/SIGTERM the server goes not-ready, drains in-flight diagnoses
+// for up to the -drain timeout, then closes the listener, so a redeploy
+// never discards work already underway.
 package main
 
 import (
@@ -29,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/hpc-repro/aiio/internal/admission"
 	"github.com/hpc-repro/aiio/internal/core"
 	"github.com/hpc-repro/aiio/internal/shap"
 	"github.com/hpc-repro/aiio/internal/webservice"
@@ -48,12 +66,31 @@ func main() {
 		"per-request diagnosis deadline; expired requests get a structured 503 (0 = none)")
 	maxBody := flag.Int64("max-body", webservice.DefaultMaxBody,
 		"request body cap in bytes for a single log; batch and model uploads get 4x (oversized = 413)")
+	maxInflight := flag.Int("max-inflight", admission.DefaultMaxInflight,
+		"concurrent diagnoses per endpoint; excess queues then sheds with 429")
+	queueDepth := flag.Int("queue-depth", admission.DefaultQueueDepth,
+		"requests allowed to wait for a diagnosis slot (negative = shed immediately)")
+	retryAfter := flag.Duration("retry-after", admission.DefaultRetryAfter,
+		"Retry-After hint handed to shed clients")
+	breakerThreshold := flag.Int("breaker-threshold", 5,
+		"consecutive failures that open a model's circuit breaker (0 disables breakers)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second,
+		"how long an open breaker waits before probing its model again")
 	flag.Parse()
 
-	ens, err := core.LoadEnsemble(*modelsDir)
+	store := core.OpenStore(*modelsDir)
+	ens, rep, err := store.Load()
 	if err != nil {
 		log.Fatalf("aiio-server: load models: %v", err)
 	}
+	for _, rej := range rep.Rejected {
+		log.Printf("aiio-server: registry generation %d rejected: %s", rej.Generation, rej.Err)
+	}
+	if rep.FellBack {
+		log.Printf("aiio-server: WARNING: serving fallback generation %d — newest generation failed verification",
+			rep.Generation)
+	}
+
 	opts := core.DefaultDiagnoseOptions()
 	opts.Interpreter = core.Interpreter(*interp)
 	mode, err := shap.ParseMode(*shapMode)
@@ -67,6 +104,19 @@ func main() {
 	ws.RequestTimeout = *requestTimeout
 	ws.MaxBody = *maxBody
 	ws.CacheSize = *cacheSize
+	ws.Store = store
+	ws.SetGeneration(rep)
+	ws.Admission = admission.NewController(admission.Config{
+		MaxInflight: *maxInflight,
+		QueueDepth:  *queueDepth,
+		RetryAfter:  *retryAfter,
+	})
+	if *breakerThreshold > 0 {
+		ws.Breakers = admission.NewBreakerSet(admission.BreakerConfig{
+			Threshold: *breakerThreshold,
+			Cooldown:  *breakerCooldown,
+		})
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           ws.Handler(),
@@ -78,8 +128,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("aiio-server: %d models loaded from %s, listening on %s\n",
-		len(ens.Models), *modelsDir, *addr)
+	gen := "legacy flat layout"
+	if !rep.Legacy {
+		gen = fmt.Sprintf("generation %d", rep.Generation)
+	}
+	fmt.Printf("aiio-server: %d models loaded from %s (%s), listening on %s\n",
+		len(ens.Models), *modelsDir, gen, *addr)
 
 	select {
 	case err := <-errc:
@@ -91,8 +145,14 @@ func main() {
 		log.Printf("aiio-server: shutting down, draining for up to %s", *drain)
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		if err := srv.Shutdown(shutCtx); err != nil {
+		// Go not-ready and let admitted diagnoses finish before the
+		// listener closes: load balancers see /readyz flip red while the
+		// in-flight work runs down, then Shutdown closes idle connections.
+		if err := ws.Drain(shutCtx); err != nil {
 			log.Printf("aiio-server: drain incomplete: %v", err)
+		}
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("aiio-server: shutdown incomplete: %v", err)
 		}
 	}
 }

@@ -135,11 +135,30 @@ func cmdTrain(args []string) error {
 		rows = append(rows, []string{r.Name, fmt.Sprintf("%.4f", r.PredictionRMSE)})
 	}
 	report.Table(os.Stdout, []string{"Model", "Eval RMSE"}, rows)
-	if err := core.SaveEnsemble(*modelsDir, ens); err != nil {
+	gen, err := core.OpenStore(*modelsDir).Save(ens)
+	if err != nil {
 		return err
 	}
-	fmt.Printf("saved %d models to %s\n", len(ens.Models), *modelsDir)
+	fmt.Printf("saved %d models to %s (generation %d)\n", len(ens.Models), *modelsDir, gen)
 	return nil
+}
+
+// loadRegistry opens the versioned model store, surfacing rejected
+// (corrupt) generations and fallbacks on stderr so a degraded registry is
+// never mistaken for a healthy one.
+func loadRegistry(dir string) (*core.Ensemble, error) {
+	ens, rep, err := core.OpenStore(dir).Load()
+	if err != nil {
+		return nil, err
+	}
+	for _, rej := range rep.Rejected {
+		report.Warn(os.Stderr, "%s: generation %d rejected: %s", dir, rej.Generation, rej.Err)
+	}
+	if rep.FellBack {
+		report.Warn(os.Stderr, "%s: serving fallback generation %d — newest generation failed verification",
+			dir, rep.Generation)
+	}
+	return ens, nil
 }
 
 func cmdDiagnose(args []string) error {
@@ -164,7 +183,7 @@ func cmdDiagnose(args []string) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("diagnose: -log is required")
 	}
-	ens, err := core.LoadEnsemble(*modelsDir)
+	ens, err := loadRegistry(*modelsDir)
 	if err != nil {
 		return err
 	}

@@ -27,8 +27,11 @@ func TestCLIPipeline(t *testing.T) {
 	if err := cmdTrain([]string{"-db", db, "-models", models, "-fast", "-seed", "3"}); err != nil {
 		t.Fatalf("train: %v", err)
 	}
-	if _, err := os.Stat(filepath.Join(models, "manifest.json")); err != nil {
-		t.Fatalf("manifest missing: %v", err)
+	if _, err := os.Stat(filepath.Join(models, "generations", "000001", "manifest.json")); err != nil {
+		t.Fatalf("generation manifest missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(models, "CURRENT")); err != nil {
+		t.Fatalf("CURRENT pointer missing: %v", err)
 	}
 
 	// Produce a job log with the flag-compatible IOR simulator path used by

@@ -1,0 +1,225 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLimiterCapsConcurrency(t *testing.T) {
+	l := NewLimiter(Config{MaxInflight: 3, QueueDepth: 100})
+	var inflight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := l.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			n := inflight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inflight.Add(-1)
+			release()
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("peak concurrency %d, want <= 3", got)
+	}
+	if adm, shed := l.Stats(); adm != 50 || shed != 0 {
+		t.Fatalf("stats admitted=%d shed=%d, want 50/0", adm, shed)
+	}
+}
+
+func TestLimiterShedsWhenQueueFull(t *testing.T) {
+	l := NewLimiter(Config{MaxInflight: 1, QueueDepth: 2})
+	// Occupy the single slot.
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	// Fill the queue with two waiters.
+	queued := make(chan struct{}, 2)
+	done := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		go func() {
+			// Signal right before blocking; the spin below confirms both
+			// are actually counted as waiting.
+			queued <- struct{}{}
+			r, err := l.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("queued acquire: %v", err)
+			} else {
+				r()
+			}
+			done <- struct{}{}
+		}()
+	}
+	<-queued
+	<-queued
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Queued() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never queued (queued=%d)", l.Queued())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The next request must shed immediately, not block.
+	start := time.Now()
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("acquire with full queue: err=%v, want ErrQueueFull", err)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("shed took %v, must be immediate", d)
+	}
+	if _, shed := l.Stats(); shed != 1 {
+		t.Fatalf("shed count %d, want 1", shed)
+	}
+	release()
+	<-done
+	<-done
+}
+
+func TestLimiterDeadlineWhileQueued(t *testing.T) {
+	l := NewLimiter(Config{MaxInflight: 1, QueueDepth: 5})
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := l.Acquire(ctx); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("queued past deadline: err=%v, want ErrDeadline", err)
+	}
+}
+
+func TestLimiterShedsExpiredDeadlineWithoutQueueing(t *testing.T) {
+	l := NewLimiter(Config{MaxInflight: 1, QueueDepth: 5})
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead on arrival
+	if _, err := l.Acquire(ctx); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("dead-on-arrival request: err=%v, want ErrDeadline", err)
+	}
+	if q := l.Queued(); q != 0 {
+		t.Fatalf("dead request was queued (queued=%d)", q)
+	}
+}
+
+func TestLimiterReleaseIdempotent(t *testing.T) {
+	l := NewLimiter(Config{MaxInflight: 1, QueueDepth: -1})
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	release()
+	release() // double release must not free a phantom slot
+	if got := l.Inflight(); got != 0 {
+		t.Fatalf("inflight %d after release, want 0", got)
+	}
+	r2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("re-acquire: %v", err)
+	}
+	defer r2()
+	if got := l.Inflight(); got != 1 {
+		t.Fatalf("inflight %d, want 1 (double release freed a phantom slot)", got)
+	}
+}
+
+func TestDrainRefusesNewAndWaitsForInflight(t *testing.T) {
+	l := NewLimiter(Config{MaxInflight: 2, QueueDepth: 4})
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	l.BeginDrain()
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("acquire during drain: err=%v, want ErrDraining", err)
+	}
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- l.Drain(ctx)
+	}()
+	select {
+	case err := <-drained:
+		t.Fatalf("drain finished with a request inflight: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	release()
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestDrainTimesOut(t *testing.T) {
+	l := NewLimiter(Config{MaxInflight: 1, QueueDepth: 0})
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := l.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain with stuck request: err=%v, want DeadlineExceeded", err)
+	}
+}
+
+func TestControllerPerEndpointIsolation(t *testing.T) {
+	c := NewController(Config{MaxInflight: 1, QueueDepth: -1})
+	releaseA, err := c.Limiter("a").Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire a: %v", err)
+	}
+	defer releaseA()
+	// Endpoint a is saturated; endpoint b must be unaffected.
+	if _, err := c.Limiter("a").Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("saturated endpoint: err=%v, want ErrQueueFull", err)
+	}
+	releaseB, err := c.Limiter("b").Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire b while a saturated: %v", err)
+	}
+	releaseB()
+	stats := c.Stats()
+	if stats["a"].Shed != 1 || stats["b"].Admitted != 1 {
+		t.Fatalf("stats = %+v, want a.shed=1 b.admitted=1", stats)
+	}
+}
+
+func TestControllerSetConfigAndDrainCoversNewEndpoints(t *testing.T) {
+	c := NewController(Config{MaxInflight: 1})
+	c.SetConfig("big", Config{MaxInflight: 8})
+	if got := cap(c.Limiter("big").sem); got != 8 {
+		t.Fatalf("override MaxInflight = %d, want 8", got)
+	}
+	c.BeginDrain()
+	if _, err := c.Limiter("late").Acquire(context.Background()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("endpoint created mid-drain admitted work: err=%v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := c.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

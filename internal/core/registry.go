@@ -1,62 +1,416 @@
 package core
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
 )
 
 // The model registry stores pre-trained performance functions on disk, the
-// way the AIIO web service manages its models (Section 3.4 / Fig. 17): one
-// gob file per model plus a JSON manifest.
+// way the AIIO web service manages its models (Section 3.4 / Fig. 17). It
+// is a crash-safe, versioned store: each save commits a complete model set
+// as a new immutable generation, every durable step goes through a temp
+// file (or directory) + fsync + atomic rename, and the manifest carries a
+// SHA-256 per model file so a load can detect bit rot or a torn write and
+// fall back to the last good generation instead of serving a corrupt
+// model. On-disk layout:
+//
+//	dir/
+//	  CURRENT             ← "N\n", the committed generation (atomic rename)
+//	  generations/
+//	    000001/
+//	      manifest.json   ← {"generation":1,"models":[{name,kind,file,sha256}]}
+//	      xgboost.gob
+//	      ...
+//	    000002/
+//	      ...
+//
+// The commit point of a save is the rename of the finished temp directory
+// to generations/N; CURRENT then flips to N. A crash anywhere in between
+// leaves either a stray .tmp-* directory (swept by the next save) or a
+// committed-but-not-current generation (adopted by the next load) — never
+// a partially visible model set.
+//
+// The pre-versioning flat layout (manifest.json and gobs directly in dir,
+// no checksums) still loads, reported as generation 0 / legacy.
 
 // manifestEntry describes one stored model.
 type manifestEntry struct {
-	Name string `json:"name"`
-	Kind string `json:"kind"`
-	File string `json:"file"`
+	Name   string `json:"name"`
+	Kind   string `json:"kind"`
+	File   string `json:"file"`
+	SHA256 string `json:"sha256,omitempty"`
 }
 
 type manifest struct {
-	Models []manifestEntry `json:"models"`
+	Generation uint64          `json:"generation,omitempty"`
+	Models     []manifestEntry `json:"models"`
 }
 
-const manifestName = "manifest.json"
+const (
+	manifestName   = "manifest.json"
+	currentName    = "CURRENT"
+	generationsDir = "generations"
+	tmpPrefix      = ".tmp-"
+)
 
-// SaveEnsemble writes every model of e into dir (created if missing).
-func SaveEnsemble(dir string, e *Ensemble) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("core: create registry dir: %w", err)
+// DefaultKeepGenerations is how many committed generations a save retains
+// (the rest are pruned oldest-first). At least two always survive, so the
+// fall-back generation for the newest is never pruned away.
+const DefaultKeepGenerations = 5
+
+// Save hook steps, in the order a save hits them. A fault-injection hook
+// (internal/faults) aborts the save at one of these points to simulate a
+// crash; production stores have no hook.
+const (
+	StepModelWrite    = "model-write"    // before streaming one model's bytes
+	StepModelSync     = "model-sync"     // before fsyncing one model file
+	StepManifestWrite = "manifest-write" // before writing the manifest
+	StepGenCommit     = "gen-commit"     // before renaming the temp dir to generations/N
+	StepCurrentCommit = "current-commit" // before renaming CURRENT into place
+)
+
+// Store is a versioned on-disk model registry rooted at a directory.
+type Store struct {
+	dir string
+	// Keep bounds how many generations survive a save (DefaultKeepGenerations
+	// when 0; values < 2 are raised to 2 so a fallback always exists).
+	Keep int
+
+	// saveMu serializes saves through one Store (concurrent web-service
+	// uploads would otherwise race on the same next-generation number).
+	saveMu sync.Mutex
+
+	// hook, when non-nil, runs before each durable step of a save and
+	// aborts it on error — the fault-injection seam for crash drills.
+	hook func(step, path string) error
+}
+
+// OpenStore returns a store rooted at dir. The directory need not exist
+// yet; the first Save creates it.
+func OpenStore(dir string) *Store { return &Store{dir: dir} }
+
+// Dir is the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SetSaveHook installs a fault-injection hook called before every durable
+// save step with (step, path). A non-nil error aborts the save at that
+// point, leaving whatever partial state a real crash would leave. Tests
+// only; a nil hook (the default) is a no-op.
+func (s *Store) SetSaveHook(h func(step, path string) error) { s.hook = h }
+
+func (s *Store) step(step, path string) error {
+	if s.hook == nil {
+		return nil
 	}
-	var man manifest
-	for _, m := range e.Models {
-		file := m.Name() + ".gob"
-		f, err := os.Create(filepath.Join(dir, file))
-		if err != nil {
-			return fmt.Errorf("core: create model file: %w", err)
-		}
-		if err := m.Save(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		man.Models = append(man.Models, manifestEntry{Name: m.Name(), Kind: m.Kind(), File: file})
-	}
-	data, err := json.MarshalIndent(man, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(filepath.Join(dir, manifestName), data, 0o644); err != nil {
-		return fmt.Errorf("core: write manifest: %w", err)
+	if err := s.hook(step, path); err != nil {
+		return fmt.Errorf("core: save aborted at %s (%s): %w", step, path, err)
 	}
 	return nil
 }
 
-// LoadEnsemble reads a registry written by SaveEnsemble.
-func LoadEnsemble(dir string) (*Ensemble, error) {
+func (s *Store) keep() int {
+	k := s.Keep
+	if k == 0 {
+		k = DefaultKeepGenerations
+	}
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+func genDirName(gen uint64) string { return fmt.Sprintf("%06d", gen) }
+
+// Generations lists the committed generation numbers, ascending. A store
+// with only a legacy flat layout (or nothing at all) returns an empty
+// list.
+func (s *Store) Generations() ([]uint64, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, generationsDir))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: read generations: %w", err)
+	}
+	var gens []uint64
+	for _, e := range entries {
+		if !e.IsDir() || strings.HasPrefix(e.Name(), tmpPrefix) {
+			continue
+		}
+		n, err := strconv.ParseUint(e.Name(), 10, 64)
+		if err != nil {
+			continue // foreign directory; not ours to judge
+		}
+		gens = append(gens, n)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// current reads the CURRENT pointer; ok is false when it is missing or
+// unreadable (a crash window — the caller falls back to the highest
+// committed generation).
+func (s *Store) current() (gen uint64, ok bool) {
+	data, err := os.ReadFile(filepath.Join(s.dir, currentName))
+	if err != nil {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Save commits every model of e as a new generation and flips CURRENT to
+// it, returning the new generation number. The write is crash-safe: until
+// the final renames land, loads keep seeing the previous generation.
+func (s *Store) Save(e *Ensemble) (uint64, error) {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	gensRoot := filepath.Join(s.dir, generationsDir)
+	if err := os.MkdirAll(gensRoot, 0o755); err != nil {
+		return 0, fmt.Errorf("core: create registry dir: %w", err)
+	}
+	// Sweep debris from crashed saves; their temp names can never collide
+	// with a committed generation.
+	if entries, err := os.ReadDir(gensRoot); err == nil {
+		for _, ent := range entries {
+			if strings.HasPrefix(ent.Name(), tmpPrefix) {
+				os.RemoveAll(filepath.Join(gensRoot, ent.Name()))
+			}
+		}
+	}
+	gens, err := s.Generations()
+	if err != nil {
+		return 0, err
+	}
+	next := uint64(1)
+	if len(gens) > 0 {
+		next = gens[len(gens)-1] + 1
+	}
+	if cur, ok := s.current(); ok && cur >= next {
+		next = cur + 1
+	}
+
+	tmpDir := filepath.Join(gensRoot, tmpPrefix+genDirName(next))
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return 0, fmt.Errorf("core: create temp generation: %w", err)
+	}
+	man := manifest{Generation: next}
+	for _, m := range e.Models {
+		file := m.Name() + ".gob"
+		path := filepath.Join(tmpDir, file)
+		if err := s.step(StepModelWrite, path); err != nil {
+			return 0, err
+		}
+		sum, err := s.writeModelFile(path, m)
+		if err != nil {
+			return 0, err
+		}
+		man.Models = append(man.Models, manifestEntry{
+			Name: m.Name(), Kind: m.Kind(), File: file, SHA256: sum,
+		})
+	}
+	manPath := filepath.Join(tmpDir, manifestName)
+	if err := s.step(StepManifestWrite, manPath); err != nil {
+		return 0, err
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	if err := writeFileSync(manPath, data); err != nil {
+		return 0, fmt.Errorf("core: write manifest: %w", err)
+	}
+	// Commit point: the finished generation appears atomically.
+	genPath := filepath.Join(gensRoot, genDirName(next))
+	if err := s.step(StepGenCommit, genPath); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmpDir, genPath); err != nil {
+		return 0, fmt.Errorf("core: commit generation %d: %w", next, err)
+	}
+	syncDir(gensRoot)
+	// Flip CURRENT via its own temp + rename.
+	curPath := filepath.Join(s.dir, currentName)
+	if err := s.step(StepCurrentCommit, curPath); err != nil {
+		return 0, err
+	}
+	tmpCur := curPath + ".tmp"
+	if err := writeFileSync(tmpCur, []byte(strconv.FormatUint(next, 10)+"\n")); err != nil {
+		return 0, fmt.Errorf("core: write CURRENT: %w", err)
+	}
+	if err := os.Rename(tmpCur, curPath); err != nil {
+		return 0, fmt.Errorf("core: commit CURRENT: %w", err)
+	}
+	syncDir(s.dir)
+	s.prune(next)
+	return next, nil
+}
+
+// writeModelFile streams one model to path (fsynced), returning its
+// SHA-256 hex digest.
+func (s *Store) writeModelFile(path string, m Model) (string, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("core: create model file: %w", err)
+	}
+	h := sha256.New()
+	if err := m.Save(io.MultiWriter(f, h)); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := s.step(StepModelSync, path); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return "", fmt.Errorf("core: sync model file: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// prune removes committed generations older than the newest keep()-many.
+// Best effort: a prune failure never fails the save that triggered it.
+func (s *Store) prune(newest uint64) {
+	gens, err := s.Generations()
+	if err != nil || len(gens) <= s.keep() {
+		return
+	}
+	for _, g := range gens[:len(gens)-s.keep()] {
+		if g == newest {
+			continue
+		}
+		os.RemoveAll(filepath.Join(s.dir, generationsDir, genDirName(g)))
+	}
+}
+
+// GenerationError records why one generation was rejected during a load.
+type GenerationError struct {
+	Generation uint64 `json:"generation"`
+	Err        string `json:"error"`
+}
+
+// LoadReport describes which generation a Load served and what it had to
+// skip to get there.
+type LoadReport struct {
+	// Generation is the generation actually loaded (0 for a legacy flat
+	// registry).
+	Generation uint64 `json:"generation"`
+	// Legacy is true when the store held only the pre-versioning flat
+	// layout (no checksums to verify).
+	Legacy bool `json:"legacy,omitempty"`
+	// FellBack is true when the preferred (CURRENT / newest) generation
+	// failed verification and an older one was served instead.
+	FellBack bool `json:"fell_back,omitempty"`
+	// Rejected lists every generation that failed verification, newest
+	// first.
+	Rejected []GenerationError `json:"rejected,omitempty"`
+}
+
+// Load reads the newest verifiable generation: checksums are recomputed
+// for every model file and a mismatch (bit rot, torn write) rejects the
+// whole generation and falls back to the next older one. The report says
+// what was served and what was skipped.
+func (s *Store) Load() (*Ensemble, *LoadReport, error) {
+	gens, err := s.Generations()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(gens) == 0 {
+		// No versioned generations: legacy flat layout or nothing.
+		e, err := loadFlat(s.dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		return e, &LoadReport{Generation: 0, Legacy: true}, nil
+	}
+	// Prefer CURRENT when it names a committed generation; a missing or
+	// stale CURRENT (crash between the two commits) starts at the newest.
+	start := gens[len(gens)-1]
+	if cur, ok := s.current(); ok {
+		for _, g := range gens {
+			if g == cur {
+				start = cur
+				break
+			}
+		}
+	}
+	rep := &LoadReport{}
+	for i := len(gens) - 1; i >= 0; i-- {
+		gen := gens[i]
+		if gen > start {
+			continue
+		}
+		e, err := s.loadGeneration(gen)
+		if err != nil {
+			rep.Rejected = append(rep.Rejected, GenerationError{Generation: gen, Err: err.Error()})
+			continue
+		}
+		rep.Generation = gen
+		rep.FellBack = len(rep.Rejected) > 0
+		return e, rep, nil
+	}
+	return nil, nil, fmt.Errorf("core: registry %s: no loadable generation (%d rejected, newest: %s)",
+		s.dir, len(rep.Rejected), rep.Rejected[0].Err)
+}
+
+// loadGeneration verifies and decodes one committed generation.
+func (s *Store) loadGeneration(gen uint64) (*Ensemble, error) {
+	dir := filepath.Join(s.dir, generationsDir, genDirName(gen))
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("read manifest: %w", err)
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("parse manifest: %w", err)
+	}
+	if man.Generation != 0 && man.Generation != gen {
+		return nil, fmt.Errorf("manifest generation %d does not match directory %d", man.Generation, gen)
+	}
+	e := &Ensemble{}
+	for _, entry := range man.Models {
+		raw, err := os.ReadFile(filepath.Join(dir, entry.File))
+		if err != nil {
+			return nil, fmt.Errorf("read model %s: %w", entry.Name, err)
+		}
+		if entry.SHA256 != "" {
+			sum := sha256.Sum256(raw)
+			if got := hex.EncodeToString(sum[:]); got != entry.SHA256 {
+				return nil, fmt.Errorf("model %s: checksum mismatch (manifest %s…, file %s…)",
+					entry.Name, entry.SHA256[:12], got[:12])
+			}
+		}
+		m, err := LoadModel(entry.Name, entry.Kind, bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("load model %s: %w", entry.Name, err)
+		}
+		e.Models = append(e.Models, m)
+	}
+	if len(e.Models) == 0 {
+		return nil, fmt.Errorf("generation %d holds no models", gen)
+	}
+	return e, nil
+}
+
+// loadFlat reads the pre-versioning flat layout (no checksums).
+func loadFlat(dir string) (*Ensemble, error) {
 	data, err := os.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, fmt.Errorf("core: read manifest: %w", err)
@@ -82,4 +436,47 @@ func LoadEnsemble(dir string) (*Ensemble, error) {
 		return nil, fmt.Errorf("core: registry %s holds no models", dir)
 	}
 	return e, nil
+}
+
+// writeFileSync writes data to path and fsyncs before closing, so the
+// bytes are durable before any rename that references them.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-committed rename is durable.
+// Best effort: some filesystems refuse directory fsync, and a failure
+// here only widens the crash window rather than corrupting state.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// SaveEnsemble writes every model of e into dir (created if missing) as a
+// new committed generation.
+func SaveEnsemble(dir string, e *Ensemble) error {
+	_, err := OpenStore(dir).Save(e)
+	return err
+}
+
+// LoadEnsemble reads the newest verifiable generation of a registry
+// written by SaveEnsemble (or a legacy flat registry), discarding the
+// load report. Callers that must surface fallbacks use Store.Load.
+func LoadEnsemble(dir string) (*Ensemble, error) {
+	e, _, err := OpenStore(dir).Load()
+	return e, err
 }

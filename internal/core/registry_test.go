@@ -1,0 +1,296 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// saveGenerations saves ens n times, returning the store (each save is a
+// new committed generation of the same model set).
+func saveGenerations(t *testing.T, ens *Ensemble, n int) *Store {
+	t.Helper()
+	st := OpenStore(t.TempDir())
+	for i := 0; i < n; i++ {
+		if _, err := st.Save(ens); err != nil {
+			t.Fatalf("save generation %d: %v", i+1, err)
+		}
+	}
+	return st
+}
+
+func TestStoreSaveBumpsGeneration(t *testing.T) {
+	_, ens, _ := fixture(t)
+	st := saveGenerations(t, ens, 3)
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 || gens[0] != 1 || gens[2] != 3 {
+		t.Fatalf("generations = %v, want [1 2 3]", gens)
+	}
+	e, rep, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Generation != 3 || rep.FellBack || rep.Legacy {
+		t.Fatalf("load report = %+v, want generation 3, no fallback", rep)
+	}
+	if len(e.Models) != len(ens.Models) {
+		t.Fatalf("loaded %d models, want %d", len(e.Models), len(ens.Models))
+	}
+}
+
+// TestStoreCorruptionFallsBack is the corruption drill of the issue's
+// acceptance criteria: flip one byte of any saved model file and the
+// loader must reject that generation and serve the previous one — never
+// a panic or a silently wrong model.
+func TestStoreCorruptionFallsBack(t *testing.T) {
+	_, ens, _ := fixture(t)
+	st := saveGenerations(t, ens, 2)
+
+	// Flip one byte in every model file of generation 2, one at a time —
+	// any single corruption must be caught.
+	genDir := filepath.Join(st.Dir(), "generations", "000002")
+	entries, err := os.ReadDir(genDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if ent.Name() == "manifest.json" {
+			continue
+		}
+		path := filepath.Join(genDir, ent.Name())
+		orig, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mut := append([]byte(nil), orig...)
+		mut[len(mut)/2] ^= 0x01
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		e, rep, err := st.Load()
+		if err != nil {
+			t.Fatalf("load with corrupt %s: %v", ent.Name(), err)
+		}
+		if rep.Generation != 1 || !rep.FellBack {
+			t.Fatalf("corrupt %s: report = %+v, want fallback to generation 1", ent.Name(), rep)
+		}
+		if len(rep.Rejected) != 1 || rep.Rejected[0].Generation != 2 ||
+			!strings.Contains(rep.Rejected[0].Err, "checksum mismatch") {
+			t.Fatalf("corrupt %s: rejected = %+v, want gen-2 checksum mismatch", ent.Name(), rep.Rejected)
+		}
+		if len(e.Models) != len(ens.Models) {
+			t.Fatalf("fallback ensemble has %d models", len(e.Models))
+		}
+		if err := os.WriteFile(path, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStoreAllGenerationsCorruptIsAnError(t *testing.T) {
+	_, ens, _ := fixture(t)
+	st := saveGenerations(t, ens, 2)
+	for _, gen := range []string{"000001", "000002"} {
+		path := filepath.Join(st.Dir(), "generations", gen, ens.Models[0].Name()+".gob")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] ^= 0xff
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := st.Load(); err == nil {
+		t.Fatal("Load succeeded with every generation corrupt")
+	} else if !strings.Contains(err.Error(), "no loadable generation") {
+		t.Fatalf("err = %v, want 'no loadable generation'", err)
+	}
+}
+
+func TestStoreMissingCurrentAdoptsNewestGeneration(t *testing.T) {
+	_, ens, _ := fixture(t)
+	st := saveGenerations(t, ens, 2)
+	// Crash window: generation committed but CURRENT never flipped.
+	if err := os.Remove(filepath.Join(st.Dir(), "CURRENT")); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Generation != 2 {
+		t.Fatalf("generation = %d without CURRENT, want newest (2)", rep.Generation)
+	}
+}
+
+func TestStoreStaleCurrentPinsGeneration(t *testing.T) {
+	_, ens, _ := fixture(t)
+	st := saveGenerations(t, ens, 3)
+	// An operator rollback: CURRENT points at an older, intact generation.
+	if err := os.WriteFile(filepath.Join(st.Dir(), "CURRENT"), []byte("2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Generation != 2 || rep.FellBack {
+		t.Fatalf("report = %+v, want pinned generation 2", rep)
+	}
+}
+
+func TestStoreSweepsCrashedTempDirs(t *testing.T) {
+	_, ens, _ := fixture(t)
+	st := OpenStore(t.TempDir())
+	if _, err := st.Save(ens); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crashed save's debris.
+	debris := filepath.Join(st.Dir(), "generations", ".tmp-000002")
+	if err := os.MkdirAll(debris, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(debris, "partial.gob"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(ens); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(debris); !os.IsNotExist(err) {
+		t.Fatalf("crashed temp dir survived the next save (stat err = %v)", err)
+	}
+	gens, _ := st.Generations()
+	if len(gens) != 2 {
+		t.Fatalf("generations = %v, want [1 2]", gens)
+	}
+}
+
+func TestStoreCrashMidSaveRecoversPreviousGeneration(t *testing.T) {
+	_, ens, _ := fixture(t)
+	st := saveGenerations(t, ens, 1)
+	injected := errors.New("injected crash")
+	// Crash at every step of the save in turn; after each aborted save the
+	// store must still load generation 1 cleanly.
+	steps := []string{StepModelWrite, StepModelSync, StepManifestWrite, StepGenCommit, StepCurrentCommit}
+	for _, step := range steps {
+		crashAt := step
+		st.SetSaveHook(func(s, path string) error {
+			if s == crashAt {
+				return injected
+			}
+			return nil
+		})
+		if _, err := st.Save(ens); !errors.Is(err, injected) {
+			t.Fatalf("save with crash at %s: err = %v, want injected crash", crashAt, err)
+		}
+		st.SetSaveHook(nil)
+		_, rep, err := st.Load()
+		if err != nil {
+			t.Fatalf("load after crash at %s: %v", crashAt, err)
+		}
+		// A crash after the gen-commit rename may legitimately serve the
+		// new generation; every earlier crash must serve generation 1.
+		if crashAt != StepCurrentCommit && rep.Generation != 1 {
+			t.Fatalf("crash at %s served generation %d, want 1", crashAt, rep.Generation)
+		}
+		if rep.FellBack {
+			t.Fatalf("crash at %s forced a checksum fallback: %+v — partial state was visible", crashAt, rep)
+		}
+	}
+	// And a clean save afterwards works and wins.
+	gen, err := st.Save(ens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Generation != gen {
+		t.Fatalf("loaded generation %d after recovery save, want %d", rep.Generation, gen)
+	}
+}
+
+func TestStorePrunesOldGenerations(t *testing.T) {
+	_, ens, _ := fixture(t)
+	st := OpenStore(t.TempDir())
+	st.Keep = 2
+	for i := 0; i < 4; i++ {
+		if _, err := st.Save(ens); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 || gens[0] != 3 || gens[1] != 4 {
+		t.Fatalf("generations after prune = %v, want [3 4]", gens)
+	}
+}
+
+func TestStoreLegacyFlatLayoutStillLoads(t *testing.T) {
+	frame, ens, _ := fixture(t)
+	dir := t.TempDir()
+	// Write the pre-versioning layout by hand: gobs + flat manifest, no
+	// checksums, no generations.
+	type entry struct {
+		Name string `json:"name"`
+		Kind string `json:"kind"`
+		File string `json:"file"`
+	}
+	var man struct {
+		Models []entry `json:"models"`
+	}
+	for _, m := range ens.Models {
+		f, err := os.Create(filepath.Join(dir, m.Name()+".gob"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Save(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		man.Models = append(man.Models, entry{Name: m.Name(), Kind: m.Kind(), File: m.Name() + ".gob"})
+	}
+	data, _ := json.Marshal(man)
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, rep, err := OpenStore(dir).Load()
+	if err != nil {
+		t.Fatalf("legacy load: %v", err)
+	}
+	if !rep.Legacy || rep.Generation != 0 {
+		t.Fatalf("report = %+v, want legacy generation 0", rep)
+	}
+	x := frame.X.Row(0)
+	for i := range ens.Models {
+		if a, b := ens.Models[i].Predict(x), e.Models[i].Predict(x); a != b {
+			t.Errorf("legacy model %s predicts %v, want %v", ens.Models[i].Name(), b, a)
+		}
+	}
+}
+
+func TestStoreManifestTamperRejected(t *testing.T) {
+	_, ens, _ := fixture(t)
+	st := saveGenerations(t, ens, 2)
+	manPath := filepath.Join(st.Dir(), "generations", "000002", "manifest.json")
+	if err := os.WriteFile(manPath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Generation != 1 || !rep.FellBack {
+		t.Fatalf("report = %+v, want fallback to generation 1 on manifest tamper", rep)
+	}
+}

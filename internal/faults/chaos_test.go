@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -300,5 +301,104 @@ func TestFaultyModelTransparent(t *testing.T) {
 	if got.PerModel[0].Predicted != want.PerModel[0].Predicted {
 		t.Errorf("wrapped prediction %v != bare prediction %v",
 			got.PerModel[0].Predicted, want.PerModel[0].Predicted)
+	}
+}
+
+// Chaos scenario (g): the process dies mid-save — at every durable step
+// of the model store in turn. Whatever partial state each crash leaves,
+// the next load must serve the previous committed generation, bit-exact,
+// and a later clean save must recover fully.
+func TestChaosCrashDuringSaveRecoversPreviousGeneration(t *testing.T) {
+	ens := chaosEnsemble(t)
+	st := core.OpenStore(t.TempDir())
+	if _, err := st.Save(ens); err != nil {
+		t.Fatalf("baseline save: %v", err)
+	}
+	// Sweep the crash point forward one durable step at a time until a
+	// save finally survives the whole gauntlet.
+	crashed := 0
+	for n := 0; ; n++ {
+		st.SetSaveHook(CrashAfterSteps(n))
+		_, err := st.Save(ens)
+		st.SetSaveHook(nil)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrInjectedCrash) {
+			t.Fatalf("crash at step %d surfaced the wrong error: %v", n, err)
+		}
+		crashed++
+		e, rep, err := st.Load()
+		if err != nil {
+			t.Fatalf("load after crash at step %d: %v", n, err)
+		}
+		if rep.Generation != 1 {
+			t.Fatalf("crash at step %d served generation %d, want the committed generation 1", n, rep.Generation)
+		}
+		if rep.FellBack {
+			t.Fatalf("crash at step %d left checksum-corrupt visible state: %+v", n, rep)
+		}
+		if len(e.Models) != len(ens.Models) {
+			t.Fatalf("crash at step %d lost models: %d of %d", n, len(e.Models), len(ens.Models))
+		}
+		if n > 100 {
+			t.Fatal("save never completed; hook sweep runaway")
+		}
+	}
+	if crashed == 0 {
+		t.Fatal("sweep never crashed a save; the injector is dead")
+	}
+	// The surviving save is the new current generation.
+	_, rep, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Generation <= 1 || rep.FellBack {
+		t.Fatalf("after recovery save: %+v, want a clean newer generation", rep)
+	}
+}
+
+// Chaos scenario (h): a crash aimed exactly at the gen-commit rename
+// (CrashAtStep) — the widest window for torn state — then a byte flip in
+// the surviving generation proves the checksum fallback chains with
+// crash recovery.
+func TestChaosCrashAtGenCommit(t *testing.T) {
+	ens := chaosEnsemble(t)
+	st := core.OpenStore(t.TempDir())
+	if _, err := st.Save(ens); err != nil {
+		t.Fatal(err)
+	}
+	st.SetSaveHook(CrashAtStep(core.StepGenCommit))
+	if _, err := st.Save(ens); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("save did not crash at gen-commit: %v", err)
+	}
+	st.SetSaveHook(nil)
+	_, rep, err := st.Load()
+	if err != nil {
+		t.Fatalf("load after gen-commit crash: %v", err)
+	}
+	if rep.Generation != 1 || rep.FellBack {
+		t.Fatalf("report = %+v, want clean generation 1", rep)
+	}
+}
+
+// Flood sanity: the injector really does run all invocations and keeps
+// their errors in order.
+func TestFloodRunsAllInvocations(t *testing.T) {
+	var calls atomic.Int64
+	errs := Flood(32, func(i int) error {
+		calls.Add(1)
+		if i%2 == 1 {
+			return ErrInjectedCrash
+		}
+		return nil
+	})
+	if calls.Load() != 32 {
+		t.Fatalf("flood ran %d of 32 invocations", calls.Load())
+	}
+	for i, err := range errs {
+		if (i%2 == 1) != (err != nil) {
+			t.Fatalf("errs[%d] = %v, order not preserved", i, err)
+		}
 	}
 }

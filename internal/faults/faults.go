@@ -13,9 +13,11 @@ package faults
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"io"
 	"math"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -144,3 +146,61 @@ func ErrReader(r io.Reader, n int64, err error) io.Reader {
 type errReader struct{ err error }
 
 func (e *errReader) Read([]byte) (int, error) { return 0, e.err }
+
+// ErrInjectedCrash is the error every save-crash injector aborts with:
+// the moral equivalent of kill -9 landing mid-save. Registry code must
+// treat the save as lost, and the next load must recover the previous
+// generation.
+var ErrInjectedCrash = errors.New("faults: injected crash during save")
+
+// CrashAfterSteps returns a model-store save hook (core.Store.SetSaveHook)
+// that lets the first n durable steps through and "crashes" — aborts the
+// save with ErrInjectedCrash, leaving whatever partial on-disk state
+// exists at that point — on step n+1. n=0 crashes at the very first
+// step. The hook is safe for reuse across saves; the step count is
+// cumulative, matching a process that dies once.
+func CrashAfterSteps(n int) func(step, path string) error {
+	var calls atomic.Int64
+	return func(step, path string) error {
+		if calls.Add(1) > int64(n) {
+			return ErrInjectedCrash
+		}
+		return nil
+	}
+}
+
+// CrashAtStep returns a save hook that crashes at the first occurrence
+// of the named step (one of the core.Step* constants) and passes every
+// other step through — a crash aimed at a specific durability window,
+// e.g. core.StepGenCommit to die right before the generation rename.
+func CrashAtStep(target string) func(step, path string) error {
+	return func(step, path string) error {
+		if step == target {
+			return ErrInjectedCrash
+		}
+		return nil
+	}
+}
+
+// Flood fires n concurrent invocations of fn (called with 0..n-1) and
+// returns each call's error, indexed by invocation. It is the traffic
+// half of the chaos kit: point it at a web service endpoint at 10× the
+// admission limit and assert the server sheds instead of falling over.
+// All invocations start together (a true thundering herd), not staggered
+// by goroutine spawn order.
+func Flood(n int, fn func(i int) error) []error {
+	errs := make([]error, n)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			errs[i] = fn(i)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	return errs
+}

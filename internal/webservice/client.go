@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/hpc-repro/aiio/internal/darshan"
@@ -16,13 +19,45 @@ import (
 // Retry policy: transient failures (connection refused/reset, any 5xx
 // response) are retried up to retryAttempts times with exponential backoff
 // and full jitter, so a fleet of clients hammering a restarting service
-// does not reconverge in lockstep. 4xx responses are the caller's fault and
-// are never retried. The caller's context bounds the whole exchange,
-// including backoff sleeps.
+// does not reconverge in lockstep. Two admission-layer signals adjust
+// that:
+//
+//   - 429 (shed): retried, but the server's Retry-After hint replaces the
+//     computed backoff for the next attempt — the server knows its own
+//     load better than our exponential guess.
+//   - 503 with X-AIIO-Breaker: open: NOT retried. Every model's circuit
+//     breaker is open and will stay open for a cooldown; hammering the
+//     instance only delays its recovery.
+//
+// Other 4xx responses are the caller's fault and are never retried. The
+// caller's context bounds the whole exchange, including backoff sleeps.
 const retryAttempts = 3
 
 // retryBase is the first backoff delay; a var so tests can shrink it.
 var retryBase = 100 * time.Millisecond
+
+// maxRetryAfter caps how long a server-provided Retry-After hint can make
+// the client sleep; a bogus huge hint must not park a caller for hours.
+const maxRetryAfter = 30 * time.Second
+
+// ErrBreakerOpen wraps a 503 carrying X-AIIO-Breaker: open. Callers can
+// errors.Is for it to route traffic elsewhere instead of retrying.
+var ErrBreakerOpen = errors.New("webservice: service circuit breakers open")
+
+// retryAfterHint parses a 429/503 Retry-After header (delta-seconds form
+// only; the HTTP-date form is not worth the dependency), clamped to
+// maxRetryAfter. Zero when absent or unparseable.
+func retryAfterHint(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After")))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
+}
 
 // Client talks to an AIIO web service.
 type Client struct {
@@ -40,16 +75,21 @@ func NewClient(baseURL string) *Client {
 // policy and returns the first non-5xx response.
 func (c *Client) post(ctx context.Context, url, contentType string, body []byte) (*http.Response, error) {
 	var lastErr error
+	var hint time.Duration // server-provided Retry-After for the next attempt
 	for attempt := 0; attempt < retryAttempts; attempt++ {
 		if attempt > 0 {
-			delay := retryBase << (attempt - 1)
-			delay += time.Duration(rand.Int63n(int64(delay) + 1)) // full jitter
+			delay := hint
+			if delay <= 0 {
+				delay = retryBase << (attempt - 1)
+				delay += time.Duration(rand.Int63n(int64(delay) + 1)) // full jitter
+			}
 			select {
 			case <-time.After(delay):
 			case <-ctx.Done():
 				return nil, fmt.Errorf("webservice: %w (last attempt: %v)", ctx.Err(), lastErr)
 			}
 		}
+		hint = 0
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
@@ -63,7 +103,21 @@ func (c *Client) post(ctx context.Context, url, contentType string, body []byte)
 			lastErr = err // connection-level failure: retry
 			continue
 		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			// Shed by the admission layer: honor its Retry-After.
+			lastErr = decodeError(resp)
+			hint = retryAfterHint(resp)
+			resp.Body.Close()
+			continue
+		}
 		if resp.StatusCode >= 500 {
+			if resp.Header.Get("X-AIIO-Breaker") == "open" {
+				// Every model's breaker is open: retrying cannot help
+				// until the cooldown; fail fast with a typed error.
+				detail := decodeError(resp)
+				resp.Body.Close()
+				return nil, fmt.Errorf("%w: %v", ErrBreakerOpen, detail)
+			}
 			lastErr = decodeError(resp)
 			resp.Body.Close()
 			continue

@@ -108,11 +108,13 @@ func TestMaxBodyReturns413(t *testing.T) {
 }
 
 func TestHandlerPanicRecovered(t *testing.T) {
+	// The blanket protect middleware turns any handler panic into a 500
+	// without killing the connection or the server.
 	s := NewServer(ensemble(t), fastOpts())
-	s.advise = func(*core.Ensemble, *core.Diagnosis) ([]tune.Recommendation, error) {
-		panic("advisor exploded")
-	}
-	srv := httptest.NewServer(s.Handler())
+	h := s.protect(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler exploded")
+	}))
+	srv := httptest.NewServer(h)
 	defer srv.Close()
 
 	resp, err := srv.Client().Post(srv.URL+"/api/v1/diagnose", "text/plain", recordBody(t))
@@ -122,6 +124,36 @@ func TestHandlerPanicRecovered(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("handler panic got HTTP %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestAdvisorPanicDegradesToAdvisoryError(t *testing.T) {
+	// The advisor is best-effort: a panic inside it costs only the
+	// recommendations, never the successful diagnosis it rides on.
+	s := NewServer(ensemble(t), fastOpts())
+	s.advise = func(*core.Ensemble, *core.Diagnosis) ([]tune.Recommendation, error) {
+		panic("advisor exploded")
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Post(srv.URL+"/api/v1/diagnose", "text/plain", recordBody(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("advisor panic got HTTP %d, want 200 with advisory_error", resp.StatusCode)
+	}
+	var body DiagnosisResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body.AdvisoryError, "advisor panicked") {
+		t.Fatalf("advisory_error = %q, want the recovered panic", body.AdvisoryError)
+	}
+	if len(body.Factors) == 0 {
+		t.Error("diagnosis factors missing despite a successful diagnosis")
 	}
 
 	// The server survives and answers the next request normally.

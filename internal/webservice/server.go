@@ -13,9 +13,12 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/hpc-repro/aiio/internal/admission"
 	"github.com/hpc-repro/aiio/internal/core"
 	"github.com/hpc-repro/aiio/internal/darshan"
 	"github.com/hpc-repro/aiio/internal/tune"
@@ -94,6 +97,30 @@ type Server struct {
 	// the same log skip the SHAP work entirely; every model upload
 	// invalidates the whole cache. Set before the first request.
 	CacheSize int
+	// Admission, when non-nil, gates the diagnosis endpoints with bounded
+	// per-endpoint concurrency: excess load is shed with a structured 429
+	// and a Retry-After hint instead of queueing without bound. Set before
+	// the first request.
+	Admission *admission.Controller
+	// Breakers, when non-nil, puts a circuit breaker in front of each
+	// model: a model failing repeatedly is taken out of rotation (the
+	// diagnosis degrades over the survivors, like the PR 2 degraded path)
+	// until its cooldown probe succeeds. When every model's breaker is
+	// open, diagnoses answer 503 with the X-AIIO-Breaker: open header.
+	Breakers *admission.BreakerSet
+	// Store, when non-nil, persists each accepted model upload as a new
+	// registry generation, so a validated hot-swap survives a restart.
+	Store *core.Store
+
+	// genReport mirrors the registry load report for /readyz (which
+	// generation is serving, whether it was a fallback); set with
+	// SetGeneration, updated by persisted hot-swaps.
+	genReport atomic.Pointer[core.LoadReport]
+
+	// draining is set by BeginDrain: readiness goes red and, with no
+	// Admission controller to refuse work, the diagnosis endpoints shed
+	// directly.
+	draining atomic.Bool
 
 	// cacheOnce pins the cache (or its absence) at first use.
 	cacheOnce sync.Once
@@ -155,11 +182,12 @@ func (s *Server) snapshot() (*core.Ensemble, core.DiagnoseOptions, uint64) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/diagnose", s.handleDiagnoseHTML)
+	mux.HandleFunc("/diagnose", s.admitted("diagnose", s.handleDiagnoseHTML))
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/api/v1/models", s.handleModels)
-	mux.HandleFunc("/api/v1/diagnose", s.handleDiagnose)
-	mux.HandleFunc("/api/v1/diagnose/batch", s.handleDiagnoseBatch)
+	mux.HandleFunc("/api/v1/diagnose", s.admitted("diagnose", s.handleDiagnose))
+	mux.HandleFunc("/api/v1/diagnose/batch", s.admitted("batch", s.handleDiagnoseBatch))
 	return s.protect(mux)
 }
 
@@ -185,6 +213,123 @@ func (s *Server) protect(h http.Handler) http.Handler {
 		}
 		h.ServeHTTP(w, r)
 	})
+}
+
+// admitted wraps a diagnosis handler with the admission gate for one
+// endpoint. A shed request is answered immediately — 429 + Retry-After
+// for overload, 503 for a drain — without ever reaching the parser or
+// the diagnosis engine (so it cannot occupy memory, workers, or a cache
+// slot). With no Admission controller configured, only the drain flag is
+// enforced.
+func (s *Server) admitted(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.Admission == nil {
+			if s.draining.Load() {
+				s.writeShed(w, admission.ErrDraining, admission.DefaultRetryAfter)
+				return
+			}
+			h(w, r)
+			return
+		}
+		lim := s.Admission.Limiter(endpoint)
+		release, err := lim.Acquire(r.Context())
+		if err != nil {
+			s.writeShed(w, err, lim.RetryAfter())
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+// writeShed answers a request refused by the admission layer: 503 for a
+// draining server, 429 + Retry-After for overload or a dead-on-arrival
+// deadline.
+func (s *Server) writeShed(w http.ResponseWriter, err error, retryAfter time.Duration) {
+	secs := int(math.Ceil(retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	status := http.StatusTooManyRequests
+	msg := "server overloaded, request shed"
+	if errors.Is(err, admission.ErrDraining) {
+		status = http.StatusServiceUnavailable
+		msg = "server is draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"error":       msg,
+		"detail":      err.Error(),
+		"retry_after": secs,
+	})
+}
+
+// BeginDrain flips the server into drain mode: /readyz reports not-ready
+// (so load balancers stop routing here) and new diagnosis work is
+// refused while in-flight requests run to completion.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	if s.Admission != nil {
+		s.Admission.BeginDrain()
+	}
+}
+
+// Drain begins the drain and waits until every admitted diagnosis has
+// finished or ctx expires. Call before http.Server.Shutdown so the
+// listener closes only after the work is done.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	if s.Admission == nil {
+		return nil
+	}
+	return s.Admission.Drain(ctx)
+}
+
+// modelNames snapshots the registered model names.
+func (s *Server) modelNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.ens.Models))
+	for _, m := range s.ens.Models {
+		names = append(names, m.Name())
+	}
+	return names
+}
+
+// handleReady is the readiness probe: distinct from /healthz liveness, it
+// goes red when the server should receive no new traffic — during a
+// drain, while every model's circuit breaker is open, or before a valid
+// model generation is loaded — while the process itself stays alive.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if s.draining.Load() || (s.Admission != nil && s.Admission.Draining()) {
+		reasons = append(reasons, "draining")
+	}
+	names := s.modelNames()
+	if len(names) == 0 {
+		reasons = append(reasons, "no model generation loaded")
+	}
+	if s.Breakers != nil && s.Breakers.AllOpen(names) {
+		reasons = append(reasons, "all model circuit breakers open")
+	}
+	body := map[string]any{"ready": len(reasons) == 0}
+	if len(reasons) > 0 {
+		body["reasons"] = reasons
+	}
+	if s.Breakers != nil {
+		body["breakers"] = s.Breakers.States()
+	}
+	if s.Admission != nil {
+		body["admission"] = s.Admission.Stats()
+	}
+	if rep := s.genReport.Load(); rep != nil {
+		body["generation"] = rep
+	}
+	status := http.StatusOK
+	if len(reasons) > 0 {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }
 
 func (s *Server) maxBody() int64 {
@@ -242,8 +387,21 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleModelUpload accepts a pre-trained model: ?name=...&kind=gbdt|mlp|tabnet
-// with the gob body. An existing model of the same name is replaced.
+// SetGeneration records the registry load report surfaced on /readyz.
+func (s *Server) SetGeneration(rep *core.LoadReport) { s.genReport.Store(rep) }
+
+// GenerationReport returns the current registry load report (nil when no
+// store is wired in).
+func (s *Server) GenerationReport() *core.LoadReport { return s.genReport.Load() }
+
+// handleModelUpload accepts a pre-trained model (?name=...&kind=gbdt|mlp|tabnet
+// with the gob body) as a validated hot-swap: the candidate model set —
+// current set with the upload swapped in — is smoke-predicted on a probe
+// vector first, and only a fully valid set goes live under a version
+// bump. A failed validation rolls back automatically: the old set keeps
+// serving untouched and the client gets a structured error saying so.
+// With a Store wired in, the accepted set is also persisted as a new
+// registry generation so the swap survives a restart.
 func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("name")
 	kind := r.URL.Query().Get("kind")
@@ -262,23 +420,44 @@ func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("decode model: %v", err))
 		return
 	}
+	// Validate the uploaded model alone first — the cheap reject, before
+	// taking any lock.
 	if err := probeModel(m); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Sprintf("model failed validation: %v", err))
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error":       fmt.Sprintf("model failed validation: %v", err),
+			"rolled_back": true,
+		})
 		return
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	// Build the candidate set: a fresh slice (in-flight snapshots keep
+	// the old backing array) with the upload swapped in or appended.
+	candidate := append([]core.Model(nil), s.ens.Models...)
 	replaced := false
-	for i, existing := range s.ens.Models {
+	for i, existing := range candidate {
 		if existing.Name() == name {
-			s.ens.Models[i] = m
+			candidate[i] = m
 			replaced = true
 			break
 		}
 	}
 	if !replaced {
-		s.ens.Models = append(s.ens.Models, m)
+		candidate = append(candidate, m)
 	}
+	// Smoke-predict the whole candidate set. If any member fails, the
+	// swap is rolled back before it ever happened: s.ens is untouched.
+	for _, cm := range candidate {
+		if err := probeModel(cm); err != nil {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error": fmt.Sprintf("candidate model set failed validation at %s: %v; upload rolled back",
+					cm.Name(), err),
+				"rolled_back": true,
+			})
+			return
+		}
+	}
+	s.ens.Models = candidate
 	// The new model invalidates every cached diagnosis: bump the version so
 	// in-flight requests keyed against the old set can never hit, and purge
 	// the entries outright.
@@ -286,7 +465,24 @@ func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
 	if c := s.diagnosisCache(); c != nil {
 		c.purge()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"name": name, "replaced": replaced})
+	persist := &core.Ensemble{Models: candidate}
+	s.mu.Unlock()
+	// A fresh (validated) model deserves a closed breaker.
+	if s.Breakers != nil {
+		s.Breakers.For(name).Success()
+	}
+	body := map[string]any{"name": name, "replaced": replaced}
+	// Persist the accepted set outside the lock; a persist failure keeps
+	// the hot-swap live (it already validated) and is surfaced instead.
+	if s.Store != nil {
+		if gen, err := s.Store.Save(persist); err != nil {
+			body["persist_error"] = err.Error()
+		} else {
+			body["generation"] = gen
+			s.SetGeneration(&core.LoadReport{Generation: gen})
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // probeModel rejects an uploaded model whose feature dimension does not
@@ -314,6 +510,88 @@ func probeModel(m core.Model) (err error) {
 	return nil
 }
 
+// applyBreakers partitions the snapshot ensemble by each model's circuit
+// breaker: allowed models run, open ones are skipped (the degraded path
+// for traffic). With no BreakerSet configured every model is allowed.
+func (s *Server) applyBreakers(ens *core.Ensemble) (allowed *core.Ensemble, open []string) {
+	if s.Breakers == nil {
+		return ens, nil
+	}
+	allowed = &core.Ensemble{Models: make([]core.Model, 0, len(ens.Models))}
+	for _, m := range ens.Models {
+		if s.Breakers.For(m.Name()).Allow() {
+			allowed.Models = append(allowed.Models, m)
+		} else {
+			open = append(open, m.Name())
+		}
+	}
+	return allowed, open
+}
+
+// recordOutcomes feeds one request's per-model results back into the
+// breakers: a model that failed (panic, NaN) in any of the request's
+// diagnoses counts one failure, a model that worked throughout counts
+// one success. Skipped on a request-level cancellation, where per-model
+// blame is meaningless.
+func (s *Server) recordOutcomes(allowed *core.Ensemble, diags ...*core.Diagnosis) {
+	if s.Breakers == nil {
+		return
+	}
+	for i, m := range allowed.Models {
+		failed := false
+		for _, d := range diags {
+			if d.PerModel[i].Failed() {
+				failed = true
+				break
+			}
+		}
+		if failed {
+			s.Breakers.For(m.Name()).Failure()
+		} else {
+			s.Breakers.For(m.Name()).Success()
+		}
+	}
+}
+
+// recordAllFailures charges every allowed model's breaker one failure —
+// the case where the whole diagnosis errored because no model survived,
+// so there is no per-model Diagnosis to consult.
+func (s *Server) recordAllFailures(allowed *core.Ensemble) {
+	if s.Breakers == nil {
+		return
+	}
+	for _, m := range allowed.Models {
+		s.Breakers.For(m.Name()).Failure()
+	}
+}
+
+// writeBreakerOpen answers a request that no model can serve: every
+// breaker is open. The X-AIIO-Breaker header tells clients not to retry
+// against this instance; Retry-After hints when the first cooldown probe
+// becomes possible.
+func (s *Server) writeBreakerOpen(w http.ResponseWriter) {
+	w.Header().Set("X-AIIO-Breaker", "open")
+	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(admission.DefaultRetryAfter.Seconds()))))
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":    "every model's circuit breaker is open",
+		"breakers": s.Breakers.States(),
+	})
+}
+
+// markBreakerSkips appends the breaker-open models to a response as
+// skipped casualties, so a client sees the same degraded-ensemble shape
+// the PR 2 path produces for in-request failures.
+func markBreakerSkips(resp *DiagnosisResponse, open []string) {
+	if len(open) == 0 {
+		return
+	}
+	resp.Degraded = true
+	for _, name := range open {
+		resp.Models = append(resp.Models, ModelResult{Name: name, Error: "circuit breaker open"})
+		resp.SkippedModels = append(resp.SkippedModels, name)
+	}
+}
+
 func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST a Darshan text log")
@@ -337,26 +615,49 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("X-AIIO-Cache", "hit")
 		}
 	}
+	var open []string
+	var allowed *core.Ensemble
 	if diag == nil {
+		var openNow []string
+		allowed, openNow = s.applyBreakers(ens)
+		open = openNow
+		if len(allowed.Models) == 0 {
+			s.writeBreakerOpen(w)
+			return
+		}
 		var err error
-		diag, err = ens.DiagnoseContext(r.Context(), rec, opts)
+		diag, err = allowed.DiagnoseContext(r.Context(), rec, opts)
 		if err != nil {
 			if r.Context().Err() != nil {
 				s.writeUnavailable(w, err)
 				return
 			}
+			// A non-cancellation diagnosis error means every allowed model
+			// failed; the breakers must hear about it or they never open.
+			s.recordAllFailures(allowed)
 			httpError(w, http.StatusInternalServerError, fmt.Sprintf("diagnose: %v", err))
 			return
 		}
-		if cache != nil {
+		s.recordOutcomes(allowed, diag)
+		// A result computed with breaker-open models excluded is partial:
+		// caching it would keep serving the degraded answer after the
+		// breakers close, so only full-ensemble results are cached.
+		if cache != nil && len(open) == 0 {
 			cache.put(key, diag)
 			w.Header().Set("X-AIIO-Cache", "miss")
 		}
 	}
 	resp := buildResponse(diag)
+	markBreakerSkips(resp, open)
 	// The advisor is best-effort: a failure degrades to an advisory-error
-	// field instead of discarding the successful diagnosis.
-	recs, advErr := s.advise(ens, diag)
+	// field instead of discarding the successful diagnosis. It runs over
+	// the models that served this request — breaker-open models are
+	// excluded from its counterfactual predictions too.
+	adviseEns := ens
+	if allowed != nil {
+		adviseEns = allowed
+	}
+	recs, advErr := s.safeAdvise(adviseEns, diag)
 	if advErr != nil {
 		resp.AdvisoryError = advErr.Error()
 	}
@@ -409,23 +710,34 @@ func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		missIdx = append(missIdx, i)
 	}
+	var open []string
 	if len(missIdx) > 0 {
+		allowed, openNow := s.applyBreakers(ens)
+		open = openNow
+		if len(allowed.Models) == 0 {
+			s.writeBreakerOpen(w)
+			return
+		}
 		missRecs := make([]*darshan.Record, len(missIdx))
 		for k, i := range missIdx {
 			missRecs[k] = ds.Records[i]
 		}
-		fresh, err := ens.DiagnoseBatchContext(r.Context(), missRecs, opts)
+		fresh, err := allowed.DiagnoseBatchContext(r.Context(), missRecs, opts)
 		if err != nil {
 			if r.Context().Err() != nil {
 				s.writeUnavailable(w, err)
 				return
 			}
+			s.recordAllFailures(allowed)
 			httpError(w, http.StatusInternalServerError, fmt.Sprintf("diagnose: %v", err))
 			return
 		}
+		s.recordOutcomes(allowed, fresh...)
 		for k, i := range missIdx {
 			diags[i] = fresh[k]
-			if cache != nil {
+			// Partial (breaker-degraded) results stay out of the cache;
+			// see handleDiagnose.
+			if cache != nil && len(open) == 0 {
 				cache.put(keys[i], fresh[k])
 			}
 		}
@@ -437,7 +749,26 @@ func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 	for i, diag := range diags {
 		resps[i] = buildResponse(diag)
 	}
+	// Cache hits were full-ensemble results; only the fresh misses carry
+	// the breaker-open skips.
+	for _, i := range missIdx {
+		markBreakerSkips(resps[i], open)
+	}
 	writeJSON(w, http.StatusOK, resps)
+}
+
+// safeAdvise runs the tuning advisor with panics converted to errors:
+// unlike the diagnosis engine, the advisor predicts on raw models with no
+// per-model recovery, so a model that panics mid-advice (a fault the
+// diagnosis already degraded around) must cost only the recommendations,
+// never the whole response.
+func (s *Server) safeAdvise(ens *core.Ensemble, diag *core.Diagnosis) (recs []tune.Recommendation, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			recs, err = nil, fmt.Errorf("advisor panicked: %v", r)
+		}
+	}()
+	return s.advise(ens, diag)
 }
 
 func buildResponse(diag *core.Diagnosis) *DiagnosisResponse {
