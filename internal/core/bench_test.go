@@ -93,3 +93,39 @@ func BenchmarkDiagnoseBatch(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPredictBatchPerFamily isolates each model family's flattened
+// batch-inference path over the full fixture frame, outside the SHAP loop.
+// This is the kernel-level view behind BENCH_inference.json: gbdt rides the
+// flat SoA tree walk, mlp and tabnet the paired GemvT2/fused-GLU pass.
+func BenchmarkPredictBatchPerFamily(b *testing.B) {
+	frame, ens, _ := fixture(b)
+	for _, m := range ens.Models {
+		b.Run(m.Name(), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := m.PredictBatch(frame.X)
+				if len(out) != frame.X.Rows {
+					b.Fatalf("got %d predictions", len(out))
+				}
+			}
+			b.ReportMetric(float64(frame.X.Rows), "rows/op")
+		})
+	}
+}
+
+// BenchmarkPredictSingleRowPerFamily measures the pooled single-row Predict
+// used by the web service's point queries (cached scratch, no per-call
+// standardization buffers).
+func BenchmarkPredictSingleRowPerFamily(b *testing.B) {
+	frame, ens, _ := fixture(b)
+	row := frame.X.Row(0)
+	for _, m := range ens.Models {
+		b.Run(m.Name(), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = m.Predict(row)
+			}
+		})
+	}
+}

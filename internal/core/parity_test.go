@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/hpc-repro/aiio/internal/linalg"
+)
+
+// TestPredictBatchParityAcrossFamilies pins the inference-flattening
+// contract at the ensemble level: for every trained model family (3 gbdt
+// variants, mlp, tabnet), the single-row Predict path, a sequential
+// PredictBatch, and PredictBatch calls racing on the same model must agree
+// within 1e-9 relative. Run under -race this also proves the pooled
+// scratch buffers and lazily-built caches (transposes, reciprocal stds)
+// are safe to share.
+func TestPredictBatchParityAcrossFamilies(t *testing.T) {
+	frame, ens, _ := fixture(t)
+
+	rows := 64
+	if frame.X.Rows < rows {
+		rows = frame.X.Rows
+	}
+	x := &linalg.Matrix{Rows: rows, Cols: frame.X.Cols, Data: frame.X.Data[:rows*frame.X.Cols]}
+
+	for _, m := range ens.Models {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			batch := m.PredictBatch(x)
+			if len(batch) != rows {
+				t.Fatalf("PredictBatch returned %d values for %d rows", len(batch), rows)
+			}
+			for i := 0; i < rows; i++ {
+				p := m.Predict(x.Row(i))
+				if math.IsNaN(p) || math.IsInf(p, 0) {
+					t.Fatalf("row %d: non-finite prediction %v", i, p)
+				}
+				d := math.Abs(p-batch[i]) / math.Max(1, math.Max(math.Abs(p), math.Abs(batch[i])))
+				if d > 1e-9 {
+					t.Fatalf("row %d: Predict %v vs PredictBatch %v (rel diff %g)", i, p, batch[i], d)
+				}
+			}
+
+			// Concurrent batches on one model instance: same answers, no
+			// races in the shared scratch pools.
+			var wg sync.WaitGroup
+			results := make([][]float64, 4)
+			for g := range results {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					results[g] = m.PredictBatch(x)
+				}(g)
+			}
+			wg.Wait()
+			for g, r := range results {
+				for i := range r {
+					d := math.Abs(r[i]-batch[i]) / math.Max(1, math.Max(math.Abs(r[i]), math.Abs(batch[i])))
+					if d > 1e-9 {
+						t.Fatalf("goroutine %d row %d: %v vs sequential %v (rel diff %g)", g, i, r[i], batch[i], d)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,12 +1,17 @@
 package core
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/hpc-repro/aiio/internal/gbdt"
 )
 
 // saveGenerations saves ens n times, returning the store (each save is a
@@ -292,5 +297,76 @@ func TestStoreManifestTamperRejected(t *testing.T) {
 	}
 	if rep.Generation != 1 || !rep.FellBack {
 		t.Fatalf("report = %+v, want fallback to generation 1 on manifest tamper", rep)
+	}
+}
+
+// TestStoreStructurallyCorruptModelFallsBack covers the validation layer
+// below the checksums: a generation whose gbdt model decodes cleanly and
+// matches its manifest checksum, but holds a cyclic tree, must be rejected
+// by gbdt.Load's structural validation and fall back to the previous
+// generation instead of looping forever in Tree.Predict.
+func TestStoreStructurallyCorruptModelFallsBack(t *testing.T) {
+	_, ens, _ := fixture(t)
+	st := saveGenerations(t, ens, 2)
+	genDir := filepath.Join(st.Dir(), "generations", "000002")
+	manPath := filepath.Join(genDir, "manifest.json")
+	data, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatal(err)
+	}
+	tampered := false
+	for i, ent := range man.Models {
+		if ent.Kind != "gbdt" {
+			continue
+		}
+		path := filepath.Join(genDir, ent.File)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gm, err := gbdt.Load(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gm.Trees[0].Left[0] = 0 // self cycle: decodes fine, traversal would loop
+		var buf bytes.Buffer
+		if err := gm.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		man.Models[i].SHA256 = hex.EncodeToString(sum[:])
+		tampered = true
+		break
+	}
+	if !tampered {
+		t.Fatal("fixture ensemble holds no gbdt model")
+	}
+	out, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manPath, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e, rep, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Generation != 1 || !rep.FellBack {
+		t.Fatalf("report = %+v, want fallback to generation 1", rep)
+	}
+	if len(rep.Rejected) != 1 || !strings.Contains(rep.Rejected[0].Err, "corrupt model") {
+		t.Fatalf("rejected = %+v, want the gbdt corrupt-model marker", rep.Rejected)
+	}
+	if len(e.Models) != len(ens.Models) {
+		t.Fatalf("fallback ensemble has %d models, want %d", len(e.Models), len(ens.Models))
 	}
 }

@@ -3,12 +3,31 @@ package core
 import (
 	"context"
 	"fmt"
+	"log"
+	"strings"
 
+	"github.com/hpc-repro/aiio/internal/darshan"
 	"github.com/hpc-repro/aiio/internal/features"
 	"github.com/hpc-repro/aiio/internal/gbdt"
 	"github.com/hpc-repro/aiio/internal/mlp"
 	"github.com/hpc-repro/aiio/internal/tabnet"
 )
+
+// logConstantCols names the counters whose training variance was zero. The
+// standardizers clamp their Std to 1 (a no-op transform instead of a
+// divide-by-zero NaN); naming the clamped counters in the training log
+// makes degenerate datasets visible instead of silently absorbed.
+func logConstantCols(model string, cols []int) {
+	if len(cols) == 0 {
+		return
+	}
+	names := make([]string, len(cols))
+	for i, j := range cols {
+		names[i] = darshan.CounterID(j).String()
+	}
+	log.Printf("core: %s: %d constant feature column(s), Std clamped to 1: %s",
+		model, len(cols), strings.Join(names, ", "))
+}
 
 // TrainOptions configures ensemble training. The defaults follow the
 // paper: all five models, shuffled 50/50 train/eval split, early stopping
@@ -139,6 +158,7 @@ func TrainEnsembleContext(ctx context.Context, frame *features.Frame, opts Train
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: train %s: %w", name, err)
 			}
+			logConstantCols(name, m.ConstantCols)
 			model = &mlpModel{m: m}
 		case NameTabNet:
 			cfg := tabnet.DefaultConfig()
@@ -148,6 +168,7 @@ func TrainEnsembleContext(ctx context.Context, frame *features.Frame, opts Train
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: train %s: %w", name, err)
 			}
+			logConstantCols(name, m.ConstantCols)
 			model = &tabnetModel{m: m}
 		default:
 			return nil, nil, fmt.Errorf("core: unknown model name %q", name)

@@ -15,11 +15,17 @@ func (m *Model) Save(w io.Writer) error {
 	return nil
 }
 
-// Load decodes a model written by Save.
+// Load decodes a model written by Save and validates its tree structure, so
+// a corrupted or truncated generation is rejected here — where the registry
+// can fall back to an older generation — rather than panicking in
+// Tree.Predict mid-request.
 func Load(r io.Reader) (*Model, error) {
 	var m Model
 	if err := gob.NewDecoder(r).Decode(&m); err != nil {
 		return nil, fmt.Errorf("gbdt: decode model: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("gbdt: corrupt model: %w", err)
 	}
 	return &m, nil
 }

@@ -133,12 +133,26 @@ func (m *Model) Predict(x []float64) float64 {
 // PredictBatch predicts every row of x in parallel.
 func (m *Model) PredictBatch(x *linalg.Matrix) []float64 {
 	out := make([]float64, x.Rows)
+	m.PredictBatchInto(x, out)
+	return out
+}
+
+// PredictBatchInto predicts every row of x into out (len(out) == x.Rows)
+// without allocating. Within each shard the walk is trees-outer/rows-inner:
+// one tree's SoA arrays stay cache-hot while the whole row block streams
+// through it, instead of re-touching every tree per row.
+func (m *Model) PredictBatchInto(x *linalg.Matrix, out []float64) {
+	if len(out) != x.Rows {
+		panic(fmt.Sprintf("gbdt: PredictBatchInto out %d, want %d", len(out), x.Rows))
+	}
 	parallelFor(x.Rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			out[i] = m.Predict(x.Row(i))
+			out[i] = m.Base
+		}
+		for _, t := range m.Trees {
+			t.accumulateRows(x, lo, hi, out)
 		}
 	})
-	return out
 }
 
 // parallelFor splits [0, n) across the shared bounded worker pool; small
@@ -568,14 +582,11 @@ func (tr *trainer) buildLevelWise(m *Model) *Tree {
 			continue
 		}
 		m.Gain[f] += cand.gain
-		n := &t.Nodes[task.node]
-		n.Feature = int32(f)
-		n.Bin = cand.bin
-		n.Threshold = tr.bins.Upper(f, cand.bin)
+		t.setSplit(task.node, int32(f), cand.bin, tr.bins.Upper(f, cand.bin))
 		left := t.leaf(tr.leafValue(cand.gl, cand.hl))
 		right := t.leaf(tr.leafValue(cand.gr, cand.hr))
-		t.Nodes[task.node].Left = left
-		t.Nodes[task.node].Right = right
+		t.Left[task.node] = left
+		t.Right[task.node] = right
 		var lh, rh *histogram
 		if task.depth+1 < tr.cfg.MaxDepth {
 			lh, rh = tr.childHists(task.hist, task.lo, mid, task.hi)
@@ -639,14 +650,11 @@ func (tr *trainer) buildLeafWise(m *Model) *Tree {
 			continue
 		}
 		m.Gain[f] += item.cand.gain
-		n := &t.Nodes[task.node]
-		n.Feature = int32(f)
-		n.Bin = item.cand.bin
-		n.Threshold = tr.bins.Upper(f, item.cand.bin)
+		t.setSplit(task.node, int32(f), item.cand.bin, tr.bins.Upper(f, item.cand.bin))
 		left := t.leaf(tr.leafValue(item.cand.gl, item.cand.hl))
 		right := t.leaf(tr.leafValue(item.cand.gr, item.cand.hr))
-		t.Nodes[task.node].Left = left
-		t.Nodes[task.node].Right = right
+		t.Left[task.node] = left
+		t.Right[task.node] = right
 		leaves++
 		lh, rh := tr.childHists(task.hist, task.lo, mid, task.hi)
 		heap.Push(pq, evaluate(levelTask{node: left, lo: task.lo, hi: mid, sumG: item.cand.gl, sumH: item.cand.hl, depth: task.depth + 1, hist: lh}))
@@ -721,11 +729,8 @@ func (tr *trainer) buildOblivious(m *Model) *Tree {
 			mid := tr.partition(task.lo, task.hi, f, bestBin)
 			gl, hl := tr.sums(task.lo, mid)
 			gr, hr := task.sumG-gl, task.sumH-hl
-			parentValue := t.Nodes[task.node].Value
-			n := &t.Nodes[task.node]
-			n.Feature = int32(f)
-			n.Bin = bestBin
-			n.Threshold = threshold
+			parentValue := t.Value[task.node]
+			t.setSplit(task.node, int32(f), bestBin, threshold)
 			lv, rv := tr.leafValue(gl, hl), tr.leafValue(gr, hr)
 			// Empty children inherit the parent value so unseen samples
 			// falling there still get a sensible prediction.
@@ -737,8 +742,8 @@ func (tr *trainer) buildOblivious(m *Model) *Tree {
 			}
 			left := t.leaf(lv)
 			right := t.leaf(rv)
-			t.Nodes[task.node].Left = left
-			t.Nodes[task.node].Right = right
+			t.Left[task.node] = left
+			t.Right[task.node] = right
 			if mid > task.lo {
 				next = append(next, levelTask{node: left, lo: task.lo, hi: mid, sumG: gl, sumH: hl})
 			}

@@ -1,63 +1,106 @@
 package gbdt
 
-// Node is one node of a regression tree. Leaves have Feature == -1.
-// Internal nodes route a sample left when its raw feature value is
-// <= Threshold (equivalently, its bin is <= Bin).
-type Node struct {
-	Feature   int32
-	Bin       uint8
-	Threshold float64
-	Left      int32
-	Right     int32
-	Value     float64 // leaf value (already shrunk by the learning rate)
+import "github.com/hpc-repro/aiio/internal/linalg"
+
+// Tree is a flat structure-of-arrays regression tree: six parallel slices
+// indexed by node id. Leaves have Feature[i] == -1. Internal nodes route a
+// sample left when its raw feature value is <= Threshold[i] (equivalently,
+// its bin is <= Bin[i]). The builders append children after their parent,
+// so child ids are always strictly greater than the parent id — the
+// structural invariant Validate enforces and every traversal relies on for
+// termination.
+//
+// The SoA layout replaces the former []Node array-of-structs: a tree walk
+// touches only the arrays it needs (Feature/Threshold/Left/Right on the
+// way down, Value once at the leaf), so a batch of rows streams through
+// each tree with dense, well-predicted loads instead of 40-byte struct
+// strides.
+type Tree struct {
+	Feature   []int32
+	Bin       []uint8
+	Threshold []float64
+	Left      []int32
+	Right     []int32
+	Value     []float64
 }
 
-// Tree is a flat-array regression tree.
-type Tree struct {
-	Nodes []Node
-}
+// NumNodes returns the node count.
+func (t *Tree) NumNodes() int { return len(t.Feature) }
 
 // leaf appends a leaf node and returns its index.
 func (t *Tree) leaf(value float64) int32 {
-	t.Nodes = append(t.Nodes, Node{Feature: -1, Value: value})
-	return int32(len(t.Nodes) - 1)
+	t.Feature = append(t.Feature, -1)
+	t.Bin = append(t.Bin, 0)
+	t.Threshold = append(t.Threshold, 0)
+	t.Left = append(t.Left, 0)
+	t.Right = append(t.Right, 0)
+	t.Value = append(t.Value, value)
+	return int32(len(t.Feature) - 1)
 }
 
-// split appends an internal node and returns its index; children are
-// patched in later.
-func (t *Tree) split(feature int32, bin uint8, threshold float64) int32 {
-	t.Nodes = append(t.Nodes, Node{Feature: feature, Bin: bin, Threshold: threshold})
-	return int32(len(t.Nodes) - 1)
+// setSplit turns node i into an internal node; children are patched into
+// Left/Right by the caller once they exist.
+func (t *Tree) setSplit(i, feature int32, bin uint8, threshold float64) {
+	t.Feature[i] = feature
+	t.Bin[i] = bin
+	t.Threshold[i] = threshold
 }
 
 // Predict routes a raw (untransformed-by-binning) feature vector to a leaf.
 func (t *Tree) Predict(x []float64) float64 {
+	feat, thr, left, right := t.Feature, t.Threshold, t.Left, t.Right
 	i := int32(0)
 	for {
-		n := &t.Nodes[i]
-		if n.Feature < 0 {
-			return n.Value
+		f := feat[i]
+		if f < 0 {
+			return t.Value[i]
 		}
-		if x[n.Feature] <= n.Threshold {
-			i = n.Left
+		if x[f] <= thr[i] {
+			i = left[i]
 		} else {
-			i = n.Right
+			i = right[i]
+		}
+	}
+}
+
+// accumulateRows walks rows [lo, hi) of x through the tree and adds each
+// row's leaf value to out[i]. Trees-outer/rows-inner is the batch layout
+// PredictBatchInto uses: one tree's arrays stay hot while every row of the
+// block streams through it.
+func (t *Tree) accumulateRows(x *linalg.Matrix, lo, hi int, out []float64) {
+	feat, thr, left, right, val := t.Feature, t.Threshold, t.Left, t.Right, t.Value
+	data, cols := x.Data, x.Cols
+	for i := lo; i < hi; i++ {
+		row := data[i*cols : i*cols+cols]
+		n := int32(0)
+		for {
+			f := feat[n]
+			if f < 0 {
+				out[i] += val[n]
+				break
+			}
+			if row[f] <= thr[n] {
+				n = left[n]
+			} else {
+				n = right[n]
+			}
 		}
 	}
 }
 
 // predictBinned routes a pre-binned sample (column-major bins) to a leaf.
 func (t *Tree) predictBinned(cols [][]uint8, sample int) float64 {
+	feat, bin, left, right := t.Feature, t.Bin, t.Left, t.Right
 	i := int32(0)
 	for {
-		n := &t.Nodes[i]
-		if n.Feature < 0 {
-			return n.Value
+		f := feat[i]
+		if f < 0 {
+			return t.Value[i]
 		}
-		if cols[n.Feature][sample] <= n.Bin {
-			i = n.Left
+		if cols[f][sample] <= bin[i] {
+			i = left[i]
 		} else {
-			i = n.Right
+			i = right[i]
 		}
 	}
 }
@@ -65,8 +108,8 @@ func (t *Tree) predictBinned(cols [][]uint8, sample int) float64 {
 // NumLeaves counts the leaves.
 func (t *Tree) NumLeaves() int {
 	n := 0
-	for i := range t.Nodes {
-		if t.Nodes[i].Feature < 0 {
+	for _, f := range t.Feature {
+		if f < 0 {
 			n++
 		}
 	}
@@ -75,16 +118,15 @@ func (t *Tree) NumLeaves() int {
 
 // Depth returns the maximum root-to-leaf depth (a single leaf has depth 0).
 func (t *Tree) Depth() int {
-	if len(t.Nodes) == 0 {
+	if len(t.Feature) == 0 {
 		return 0
 	}
 	var walk func(i int32) int
 	walk = func(i int32) int {
-		n := &t.Nodes[i]
-		if n.Feature < 0 {
+		if t.Feature[i] < 0 {
 			return 0
 		}
-		l, r := walk(n.Left), walk(n.Right)
+		l, r := walk(t.Left[i]), walk(t.Right[i])
 		if l > r {
 			return l + 1
 		}
@@ -103,11 +145,10 @@ func (t *Tree) IsOblivious() bool {
 	levels := map[int]key{}
 	var walk func(i int32, depth int) bool
 	walk = func(i int32, depth int) bool {
-		n := &t.Nodes[i]
-		if n.Feature < 0 {
+		if t.Feature[i] < 0 {
 			return true
 		}
-		k := key{n.Feature, n.Bin}
+		k := key{t.Feature[i], t.Bin[i]}
 		if prev, ok := levels[depth]; ok {
 			if prev != k {
 				return false
@@ -115,7 +156,7 @@ func (t *Tree) IsOblivious() bool {
 		} else {
 			levels[depth] = k
 		}
-		return walk(n.Left, depth+1) && walk(n.Right, depth+1)
+		return walk(t.Left[i], depth+1) && walk(t.Right[i], depth+1)
 	}
 	return walk(0, 0)
 }

@@ -1,0 +1,75 @@
+package gbdt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Validate checks the tree's structural invariants so a traversal can never
+// panic or loop: parallel SoA arrays of equal, non-zero length; child
+// indices in bounds and strictly greater than their parent (the builders'
+// append order), which guarantees every root-to-leaf path terminates within
+// NumNodes steps; finite thresholds and leaf values; and split features
+// inside [0, numFeatures) when numFeatures > 0 (pass 0 to skip the feature
+// bound, e.g. for trees checked before their bin mapper).
+func (t *Tree) Validate(numFeatures int) error {
+	n := len(t.Feature)
+	if n == 0 {
+		return errors.New("tree has no nodes")
+	}
+	if len(t.Bin) != n || len(t.Threshold) != n || len(t.Left) != n || len(t.Right) != n || len(t.Value) != n {
+		return fmt.Errorf("ragged tree arrays: feature=%d bin=%d threshold=%d left=%d right=%d value=%d (truncated encoding?)",
+			n, len(t.Bin), len(t.Threshold), len(t.Left), len(t.Right), len(t.Value))
+	}
+	for i := 0; i < n; i++ {
+		f := t.Feature[i]
+		if f < 0 {
+			if math.IsNaN(t.Value[i]) || math.IsInf(t.Value[i], 0) {
+				return fmt.Errorf("leaf %d has non-finite value %v", i, t.Value[i])
+			}
+			continue
+		}
+		if numFeatures > 0 && int(f) >= numFeatures {
+			return fmt.Errorf("node %d splits on feature %d, model has %d", i, f, numFeatures)
+		}
+		if math.IsNaN(t.Threshold[i]) {
+			return fmt.Errorf("node %d has NaN threshold", i)
+		}
+		l, r := t.Left[i], t.Right[i]
+		if l <= int32(i) || int(l) >= n {
+			return fmt.Errorf("node %d left child %d out of range (want %d < child < %d)", i, l, i, n)
+		}
+		if r <= int32(i) || int(r) >= n {
+			return fmt.Errorf("node %d right child %d out of range (want %d < child < %d)", i, r, i, n)
+		}
+	}
+	return nil
+}
+
+// Validate checks the whole ensemble: a finite base score, a bin mapper,
+// and every tree's structural invariants against the mapper's feature
+// count. Load runs it so a corrupted or truncated serialized model fails
+// the registry's verification-and-fallback path at decode time instead of
+// panicking (or looping) inside Tree.Predict mid-request.
+func (m *Model) Validate() error {
+	if math.IsNaN(m.Base) || math.IsInf(m.Base, 0) {
+		return fmt.Errorf("gbdt: non-finite base score %v", m.Base)
+	}
+	if len(m.Trees) == 0 {
+		return errors.New("gbdt: model has no trees")
+	}
+	nf := 0
+	if m.Bins != nil {
+		nf = len(m.Bins.Uppers)
+	}
+	for ti, t := range m.Trees {
+		if t == nil {
+			return fmt.Errorf("gbdt: tree %d is nil", ti)
+		}
+		if err := t.Validate(nf); err != nil {
+			return fmt.Errorf("gbdt: tree %d: %w", ti, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package gbdt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+// smallModel trains a tiny ensemble for corruption tests.
+func smallModel(t testing.TB) *Model {
+	t.Helper()
+	x, y := synth(200, 6, 3)
+	cfg := DefaultConfig(LevelWise)
+	cfg.Rounds = 10
+	m, err := Train(cfg, x, y, nil, nil)
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	return m
+}
+
+func TestValidateAcceptsTrainedModel(t *testing.T) {
+	m := smallModel(t)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("trained model failed validation: %v", err)
+	}
+	for _, tr := range m.Trees {
+		if err := tr.Validate(6); err != nil {
+			t.Fatalf("trained tree failed validation: %v", err)
+		}
+	}
+}
+
+func TestValidateRejectsCorruptTrees(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(*Tree)
+		want    string
+	}{
+		{"empty", func(tr *Tree) { *tr = Tree{} }, "no nodes"},
+		{"ragged value", func(tr *Tree) { tr.Value = tr.Value[:len(tr.Value)-1] }, "ragged"},
+		{"ragged left", func(tr *Tree) { tr.Left = tr.Left[:0] }, "ragged"},
+		{"self cycle", func(tr *Tree) { tr.Left[0] = 0 }, "out of range"},
+		{"backward edge", func(tr *Tree) {
+			// point the last split's right child at the root
+			for i := len(tr.Feature) - 1; i >= 0; i-- {
+				if tr.Feature[i] >= 0 {
+					tr.Right[i] = 0
+					return
+				}
+			}
+		}, "out of range"},
+		{"child past end", func(tr *Tree) { tr.Left[0] = int32(len(tr.Feature)) }, "out of range"},
+		{"feature out of bounds", func(tr *Tree) {
+			for i, f := range tr.Feature {
+				if f >= 0 {
+					tr.Feature[i] = 99
+					return
+				}
+			}
+		}, "feature 99"},
+		{"NaN threshold", func(tr *Tree) {
+			for i, f := range tr.Feature {
+				if f >= 0 {
+					tr.Threshold[i] = math.NaN()
+					return
+				}
+			}
+		}, "NaN threshold"},
+		{"NaN leaf", func(tr *Tree) {
+			for i, f := range tr.Feature {
+				if f < 0 {
+					tr.Value[i] = math.NaN()
+					return
+				}
+			}
+		}, "non-finite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := smallModel(t)
+			tc.corrupt(m.Trees[0])
+			err := m.Trees[0].Validate(6)
+			if err == nil {
+				t.Fatalf("corruption %q passed tree validation", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+			if err := m.Validate(); err == nil {
+				t.Fatalf("corruption %q passed model validation", tc.name)
+			}
+		})
+	}
+}
+
+func TestValidateRejectsModelLevelCorruption(t *testing.T) {
+	m := smallModel(t)
+	m.Base = math.Inf(1)
+	if err := m.Validate(); err == nil {
+		t.Fatal("non-finite base passed validation")
+	}
+	m = smallModel(t)
+	m.Trees[1] = nil
+	if err := m.Validate(); err == nil {
+		t.Fatal("nil tree passed validation")
+	}
+	m = smallModel(t)
+	m.Trees = nil
+	if err := m.Validate(); err == nil {
+		t.Fatal("empty ensemble passed validation")
+	}
+}
+
+func TestLoadRejectsCorruptEncoding(t *testing.T) {
+	m := smallModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Round trip works.
+	if _, err := Load(bytes.NewReader(good)); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	// Truncations must error (gob decode failure or validation), never panic.
+	for _, cut := range []int{1, len(good) / 4, len(good) / 2, len(good) - 3} {
+		if _, err := Load(bytes.NewReader(good[:cut])); err == nil {
+			t.Errorf("truncation to %d bytes loaded successfully", cut)
+		}
+	}
+	// A structurally corrupt but decodable model must fail with the corrupt
+	// marker so the registry treats it as a bad generation.
+	m.Trees[0].Left[0] = 0
+	var bad bytes.Buffer
+	if err := m.Save(&bad); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&bad)
+	if err == nil {
+		t.Fatal("cyclic tree loaded successfully")
+	}
+	if !strings.Contains(err.Error(), "corrupt model") {
+		t.Errorf("error %q does not carry the corrupt-model marker", err)
+	}
+}
+
+// FuzzTreeValidate mutates a serialized tree and checks the contract the
+// registry fallback relies on: any tree accepted by Validate must predict
+// without panicking or looping, returning a finite value.
+func FuzzTreeValidate(f *testing.F) {
+	m := smallModel(f)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good, uint16(0))
+	f.Add(good[:len(good)/2], uint16(3))
+	f.Add([]byte{}, uint16(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, flip uint16) {
+		// Deterministically flip a couple of bytes to reach decodable-but-
+		// corrupt encodings, not just gob framing errors.
+		if len(data) > 0 && flip > 0 {
+			data = append([]byte(nil), data...)
+			var fb [2]byte
+			binary.LittleEndian.PutUint16(fb[:], flip)
+			data[int(flip)%len(data)] ^= fb[0]
+			data[(int(flip)*7+1)%len(data)] ^= fb[1]
+		}
+		m, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: exactly what the fallback path wants
+		}
+		// Accepted: every traversal must terminate and stay finite.
+		x := make([]float64, 6)
+		for i := range x {
+			x[i] = float64(i)*1.5 - 3
+		}
+		for _, tr := range m.Trees {
+			if v := tr.Predict(x); math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("validated tree returned non-finite %v", v)
+			}
+		}
+	})
+}

@@ -1,0 +1,78 @@
+//go:build amd64
+
+package linalg
+
+// cpuidex and xgetbv0 are implemented in gemv_amd64.s.
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+//go:noescape
+func gemvTAVX(dst, w, x *float64, inDim, outDim int, bias *float64)
+
+//go:noescape
+func gemvT2AVX(dst0, dst1, w, x0, x1 *float64, inDim, outDim int, bias *float64)
+
+//go:noescape
+func gluAVX(dst, u, v *float64, n int)
+
+//go:noescape
+func scaleShiftReLUAVX(x, scale, shift *float64, n int)
+
+//go:noescape
+func scaleShiftIntoAVX(dst, x, scale, shift *float64, n int)
+
+//go:noescape
+func scaleMaxAVX(v, scale *float64, n int) float64
+
+//go:noescape
+func maskGreaterAVX(v *float64, lim float64, n int) uint64
+
+//go:noescape
+func scaleAVX(alpha float64, x *float64, n int)
+
+//go:noescape
+func reluAVX(x *float64, n int)
+
+//go:noescape
+func dotAVX(a, b *float64, n int) float64
+
+//go:noescape
+func axpyAVX(alpha float64, x, y *float64, n int)
+
+// init installs the AVX2+FMA micro-kernels when the CPU and OS support
+// them (AVX2 + FMA3 instruction sets, YMM state enabled via XGETBV).
+// Without support, the kernel pointers stay nil and the portable scalar
+// paths run.
+func init() {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return
+	}
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+		avx2    = 1 << 5
+	)
+	_, _, c1, _ := cpuidex(1, 0)
+	if c1&fma == 0 || c1&osxsave == 0 || c1&avx == 0 {
+		return
+	}
+	if lo, _ := xgetbv0(); lo&6 != 6 {
+		return
+	}
+	if _, b7, _, _ := cpuidex(7, 0); b7&avx2 == 0 {
+		return
+	}
+	gemvTKernel = gemvTAVX
+	gemvT2Kernel = gemvT2AVX
+	gluKernel = gluAVX
+	scaleShiftReLUKernel = scaleShiftReLUAVX
+	scaleShiftIntoKernel = scaleShiftIntoAVX
+	scaleMaxKernel = scaleMaxAVX
+	maskGreaterKernel = maskGreaterAVX
+	scaleKernel = scaleAVX
+	reluKernel = reluAVX
+	dotKernel = dotAVX
+	axpyKernel = axpyAVX
+}

@@ -185,10 +185,16 @@ func WeightedRidge(x *Matrix, y, w []float64, lambda float64, fitIntercept bool)
 				continue
 			}
 			xtwy[a] += va * y[i]
-			ra := xtwx.Row(a)
-			for b := 0; b < d; b++ {
-				ra[b] += va * row[b]
-			}
+			// XᵀWX is symmetric: accumulate the upper triangle only and
+			// mirror below; each (a,b) product is computed exactly once, so
+			// the mirrored matrix is identical to the full accumulation.
+			Axpy(va, row[a:], xtwx.Row(a)[a:])
+		}
+	}
+	for a := 0; a < d; a++ {
+		ra := xtwx.Row(a)
+		for b := a + 1; b < d; b++ {
+			xtwx.Row(b)[a] = ra[b]
 		}
 	}
 	nPen := d

@@ -13,6 +13,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sync"
 
 	"github.com/hpc-repro/aiio/internal/linalg"
 	"github.com/hpc-repro/aiio/internal/parallel"
@@ -72,15 +73,83 @@ type Model struct {
 	Config Config
 	Mean   []float64 // input standardization
 	Std    []float64
-	Dense  []DenseState // len(Hidden)+1 layers; last maps to 1 output
-	BN     []BNState    // one per hidden layer except the first
-	YMean  float64      // target centering
-	YStd   float64
+	// ConstantCols lists input columns whose training variance was zero;
+	// their Std is clamped to 1 so standardization is a no-op for them
+	// instead of a divide-by-zero NaN.
+	ConstantCols []int
+	Dense        []DenseState // len(Hidden)+1 layers; last maps to 1 output
+	BN           []BNState    // one per hidden layer except the first
+	YMean        float64      // target centering
+	YStd         float64
 	// TrainLoss and EvalLoss record per-epoch RMSE curves.
 	TrainLoss []float64
 	EvalLoss  []float64
 	BestEpoch int
+
+	// invStd caches 1/Std with a unit-scale guard for zero or non-finite
+	// entries (legacy serialized models predate the fit-time clamp). Both
+	// fields are unexported, so gob ignores them and the zero value works
+	// for decoded models.
+	invOnce  sync.Once
+	invStd   []float64
+	stdShift []float64
+	// scratch pools per-worker forward buffers so batch inference reuses
+	// activation matrices instead of allocating per dense layer per shard.
+	scratch sync.Pool
 }
+
+// inputInvStd returns the cached per-column reciprocal of Std. Entries that
+// are zero, negative, or non-finite fall back to 1 so standardization can
+// never manufacture a NaN at inference time.
+func (m *Model) inputInvStd() []float64 {
+	m.invOnce.Do(func() {
+		inv := make([]float64, len(m.Std))
+		for j, s := range m.Std {
+			if s > 0 && !math.IsInf(s, 1) {
+				inv[j] = 1 / s
+			} else {
+				inv[j] = 1
+			}
+		}
+		m.invStd = inv
+		shift := make([]float64, len(m.Std))
+		for j := range shift {
+			shift[j] = -m.Mean[j] * inv[j]
+		}
+		m.stdShift = shift
+	})
+	return m.invStd
+}
+
+// fwdScratch is one worker's reusable forward-pass state: the standardized
+// input block, two ping-pong activation matrices, and the per-call fused
+// BN scale/shift vectors.
+type fwdScratch struct {
+	xs           linalg.Matrix
+	ping, pong   linalg.Matrix
+	scale, shift []float64
+}
+
+// reshape resizes m to rows x cols, reusing its backing array when large
+// enough, and returns it. Contents are unspecified after the call.
+func reshape(m *linalg.Matrix, rows, cols int) *linalg.Matrix {
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+func (m *Model) getScratch() *fwdScratch {
+	if s, ok := m.scratch.Get().(*fwdScratch); ok {
+		return s
+	}
+	return &fwdScratch{}
+}
+
+func (m *Model) putScratch(s *fwdScratch) { m.scratch.Put(s) }
 
 // adam is per-tensor Adam state.
 type adam struct {
@@ -280,6 +349,7 @@ func (m *Model) fitStandardizer(x *linalg.Matrix, y []float64) {
 		m.Std[j] = math.Sqrt(m.Std[j] / n)
 		if m.Std[j] < 1e-12 {
 			m.Std[j] = 1
+			m.ConstantCols = append(m.ConstantCols, j)
 		}
 	}
 	m.YMean = linalg.Mean(y)
@@ -295,13 +365,18 @@ func (m *Model) fitStandardizer(x *linalg.Matrix, y []float64) {
 }
 
 func (m *Model) standardize(x *linalg.Matrix) *linalg.Matrix {
-	out := linalg.NewMatrix(x.Rows, x.Cols)
+	return m.standardizeInto(linalg.NewMatrix(x.Rows, x.Cols), x)
+}
+
+// standardizeInto writes the standardized rows of x into dst (resized as
+// needed) using the guarded reciprocal stddev.
+func (m *Model) standardizeInto(dst, x *linalg.Matrix) *linalg.Matrix {
+	inv := m.inputInvStd()
+	out := reshape(dst, x.Rows, x.Cols)
 	for i := 0; i < x.Rows; i++ {
-		row := x.Row(i)
-		orow := out.Row(i)
-		for j, v := range row {
-			orow[j] = (v - m.Mean[j]) / m.Std[j]
-		}
+		// (v-mean)/std computed as v*inv - mean*inv with a cached shift
+		// vector — one fused multiply-add per element.
+		linalg.ScaleShiftInto(out.Row(i), x.Row(i), inv, m.stdShift)
 	}
 	return out
 }
@@ -509,25 +584,70 @@ func (m *Model) trainStep(xb *linalg.Matrix, yb []float64, grads [][]float64,
 // predictStandardized runs inference on already-standardized inputs,
 // returning predictions in the original target scale.
 func (m *Model) predictStandardized(xs *linalg.Matrix) []float64 {
-	h := xs
+	out := make([]float64, xs.Rows)
+	sc := m.getScratch()
+	m.forwardStandardized(xs, out, sc)
+	m.putScratch(sc)
+	return out
+}
+
+// forwardStandardized runs the eval forward pass over the standardized
+// block xs using one worker's scratch buffers, writing target-scale
+// predictions into out (len(out) == xs.Rows). Dense layers run on the
+// tiled linalg.MulTInto kernel; activations ping-pong between the two
+// scratch matrices so the pass allocates nothing in steady state. xs is
+// not modified.
+func (m *Model) forwardStandardized(xs *linalg.Matrix, out []float64, sc *fwdScratch) {
 	nHidden := len(m.Config.Hidden)
-	for l := 0; l < nHidden; l++ {
-		h = denseForward(&m.Dense[l], h)
+	h := xs
+	bufs := [2]*linalg.Matrix{&sc.ping, &sc.pong}
+	which := 0
+	for l := 0; l <= nHidden; l++ {
+		d := &m.Dense[l]
+		dst := reshape(bufs[which], h.Rows, d.Out)
+		which ^= 1
+		// Rows run sequentially here: callers already shard batches across
+		// the worker pool, so the nested parallelism of MulTInto would only
+		// oversubscribe the cores.
+		i := 0
+		for ; i+1 < h.Rows; i += 2 {
+			// Row pairs share one pass over the layer weights (two FMAs
+			// per weight load); outputs are bitwise identical to the
+			// one-row-at-a-time kernel.
+			linalg.GemvT2(dst.Row(i), dst.Row(i+1), d.W, d.Out, d.In, h.Row(i), h.Row(i+1), d.B)
+		}
+		for ; i < h.Rows; i++ {
+			linalg.GemvT(dst.Row(i), d.W, d.Out, d.In, h.Row(i), d.B)
+		}
+		h = dst
+		if l == nHidden {
+			break
+		}
 		if l > 0 {
-			h = bnForwardEval(&m.BN[l-1], h)
-		}
-		for i := range h.Data {
-			if h.Data[i] < 0 {
-				h.Data[i] = 0
+			// Fold eval-mode BN into one scale/shift pair per column, then
+			// apply it fused with the ReLU in a single pass over the block.
+			bn := &m.BN[l-1]
+			if cap(sc.scale) < bn.Dim {
+				sc.scale = make([]float64, bn.Dim)
+				sc.shift = make([]float64, bn.Dim)
 			}
+			scale := sc.scale[:bn.Dim]
+			shift := sc.shift[:bn.Dim]
+			for j := 0; j < bn.Dim; j++ {
+				s := bn.Gamma[j] / math.Sqrt(bn.Var[j]+1e-5)
+				scale[j] = s
+				shift[j] = bn.Beta[j] - bn.Mean[j]*s
+			}
+			for i := 0; i < h.Rows; i++ {
+				linalg.ScaleShiftReLU(h.Row(i), scale, shift)
+			}
+		} else {
+			linalg.ReLU(h.Data)
 		}
 	}
-	out := denseForward(&m.Dense[nHidden], h)
-	pred := make([]float64, xs.Rows)
-	for i := range pred {
-		pred[i] = out.At(i, 0)*m.YStd + m.YMean
+	for i := range out {
+		out[i] = h.Data[i]*m.YStd + m.YMean
 	}
-	return pred
 }
 
 func (m *Model) rmseStandardized(xs *linalg.Matrix, ys []float64) float64 {
@@ -549,14 +669,18 @@ func rmseSlices(pred, y []float64) float64 {
 	return math.Sqrt(s / float64(len(y)))
 }
 
-// Predict returns the prediction for one raw feature vector.
+// Predict returns the prediction for one raw feature vector. It sits on
+// the per-job advisory path, so the 1-row input and activation matrices
+// come from the model's scratch pool instead of fresh allocations.
 func (m *Model) Predict(x []float64) float64 {
-	xs := linalg.NewMatrix(1, len(x))
-	row := xs.Row(0)
-	for j, v := range x {
-		row[j] = (v - m.Mean[j]) / m.Std[j]
-	}
-	return m.predictStandardized(xs)[0]
+	sc := m.getScratch()
+	xs := reshape(&sc.xs, 1, len(x))
+	inv := m.inputInvStd()
+	linalg.ScaleShiftInto(xs.Data, x, inv, m.stdShift)
+	var out [1]float64
+	m.forwardStandardized(xs, out[:], sc)
+	m.putScratch(sc)
+	return out[0]
 }
 
 // predictParallelMinRows is the batch size below which sharding a forward
@@ -569,14 +693,20 @@ const predictParallelMinRows = 64
 // statistics), so the sharded result is bitwise-identical to a sequential
 // pass.
 func (m *Model) PredictBatch(x *linalg.Matrix) []float64 {
-	xs := m.standardize(x)
-	if xs.Rows < predictParallelMinRows {
-		return m.predictStandardized(xs)
+	out := make([]float64, x.Rows)
+	if x.Rows < predictParallelMinRows {
+		sc := m.getScratch()
+		xs := m.standardizeInto(&sc.xs, x)
+		m.forwardStandardized(xs, out, sc)
+		m.putScratch(sc)
+		return out
 	}
-	out := make([]float64, xs.Rows)
-	parallel.For(xs.Rows, 0, func(lo, hi int) {
-		sub := &linalg.Matrix{Rows: hi - lo, Cols: xs.Cols, Data: xs.Data[lo*xs.Cols : hi*xs.Cols]}
-		copy(out[lo:hi], m.predictStandardized(sub))
+	parallel.For(x.Rows, 0, func(lo, hi int) {
+		sc := m.getScratch()
+		sub := &linalg.Matrix{Rows: hi - lo, Cols: x.Cols, Data: x.Data[lo*x.Cols : hi*x.Cols]}
+		xs := m.standardizeInto(&sc.xs, sub)
+		m.forwardStandardized(xs, out[lo:hi], sc)
+		m.putScratch(sc)
 	})
 	return out
 }

@@ -81,20 +81,29 @@ func (e *Explanation) AdditivityError() float64 {
 	return math.Abs(s - e.FX)
 }
 
-// Explainer computes SHAP values against a fixed background. It keeps the
-// coalition masks, the coalition input matrix and the WLS buffers in a
-// scratch area reused across calls, so the steady-state allocations of an
-// Explain are the returned Phi slice and the model's own output batches. A
-// mutex serializes concurrent Explain calls on one explainer; independent
-// explainers (as core.Diagnose builds per model per job) never contend.
+// Explainer computes SHAP values against a fixed background. The
+// coalition masks, the coalition input matrix and the WLS buffers live in
+// a pool-shared scratch area borrowed per call, so the steady-state
+// allocations of an Explain are the returned Phi slice and the model's
+// own output batches. A mutex serializes concurrent Explain calls on one
+// explainer; independent explainers (as core.Diagnose builds per model
+// per job) never contend.
 type Explainer struct {
 	f          PredictFunc
 	background []float64
 	cfg        Config
 
 	mu sync.Mutex
-	sc scratch
+	sc *scratch // borrowed from scratchPool for the duration of one Explain
 }
+
+// scratchPool shares scratch slabs across all explainers. core.Diagnose
+// builds a fresh explainer per (job, model) pair, and without sharing
+// every diagnosis re-allocates — and the runtime re-zeroes — hundreds of
+// kilobytes of coalition masks, input matrices and WLS buffers; borrowing
+// per call keeps those slabs warm across jobs while staying safe for
+// concurrent explainers.
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
 
 // scratch is the per-explainer reusable buffer set. Coalition masks are
 // uint64 bitsets: coalition i occupies words [i*words, (i+1)*words) of the
@@ -160,6 +169,11 @@ func (e *Explainer) ExplainContext(ctx context.Context, x []float64) (Explanatio
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.sc = scratchPool.Get().(*scratch)
+	defer func() {
+		scratchPool.Put(e.sc)
+		e.sc = nil
+	}()
 
 	// Active set: features differing from the background.
 	active := e.sc.active[:0]
@@ -302,19 +316,38 @@ func binom(n, k int) float64 {
 	return r
 }
 
+// splitmix64 is Vigna's SplitMix64 generator. It exists because seeding
+// math/rand's default lagged-Fibonacci source walks a 607-word warm-up
+// (milliseconds across a diagnosis batch that builds one explainer per
+// job/model pair), while SplitMix64 seeds in O(1) with a single add. It
+// implements rand.Source64, so rand.Rand draws whole words from it.
+type splitmix64 struct{ s uint64 }
+
+func (s *splitmix64) Uint64() uint64 {
+	s.s += 0x9e3779b97f4a7c15
+	z := s.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) Int63() int64    { return int64(s.Uint64() >> 1) }
+func (s *splitmix64) Seed(seed int64) { s.s = uint64(seed) }
+
 // sampled runs the Kernel SHAP WLS estimator with paired coalition
 // enumeration/sampling, following the shap package's KernelExplainer.
 // Coalitions live as uint64 bitsets in the scratch slab; the coalition
 // input matrix and the WLS design/target/weight buffers are reused across
-// calls. The coalition set and the estimate are identical to the previous
-// []bool implementation for any given seed.
+// calls. The coalition set is a deterministic function of cfg.Seed (drawn
+// from an O(1)-seed SplitMix64 stream), so repeated explanations of the
+// same input agree bitwise.
 func (e *Explainer) sampled(ctx context.Context, x, bg []float64, active []int, out *Explanation) error {
 	m := len(active)
 	words := (m + 63) / 64
 	budget := e.cfg.NSamples
-	rng := rand.New(rand.NewSource(e.cfg.Seed))
+	rng := rand.New(&splitmix64{s: uint64(e.cfg.Seed)})
 
-	sc := &e.sc
+	sc := e.sc
 	sc.masks = sc.masks[:0]
 	sc.weights = sc.weights[:0]
 	nCoal := 0
@@ -418,12 +451,24 @@ func (e *Explainer) sampled(ctx context.Context, x, bg []float64, active []int, 
 					si++
 				}
 				s := sizes[si]
+				kk := s // sizes only go up to m/2, so kk is the smaller of the pair
 				if s != m-s && rng.Intn(2) == 1 {
 					s = m - s
 				}
-				rng.Shuffle(m, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+				// Partial Fisher–Yates: only the first kk slots need to be
+				// drawn for a uniform kk-subset, and the unchosen suffix is
+				// then itself a uniform (m-kk)-subset for the complement
+				// size — far cheaper than shuffling all m entries.
+				for i := 0; i < kk; i++ {
+					j := i + rng.Intn(m-i)
+					perm[i], perm[j] = perm[j], perm[i]
+				}
+				chosen := perm[:kk]
+				if s != kk {
+					chosen = perm[kk:]
+				}
 				mask := addCoalition(per)
-				for _, i := range perm[:s] {
+				for _, i := range chosen {
 					mask[i>>6] |= 1 << (i & 63)
 				}
 			}
@@ -463,13 +508,28 @@ func (e *Explainer) sampled(ctx context.Context, x, bg []float64, active []int, 
 		if getBit(mask, m-1) {
 			last = 1
 		}
+		// Fill the row with the off-coalition value (0 or -1), then flip
+		// just the set bits — the design matrix is sparse in whichever
+		// value the coalition's minority is, and iterating mask words
+		// beats a per-column branch.
 		row := zm.Row(i)
-		for b := 0; b < zCols; b++ {
-			zb := 0.0
-			if getBit(mask, b) {
-				zb = 1
+		if last == 0 {
+			for b := range row {
+				row[b] = 0
 			}
-			row[b] = zb - last
+		} else {
+			for b := range row {
+				row[b] = -1
+			}
+		}
+		on := 1.0 - last
+		for wi, v := range mask {
+			for ; v != 0; v &= v - 1 {
+				b := wi<<6 + bits.TrailingZeros64(v)
+				if b < zCols {
+					row[b] = on
+				}
+			}
 		}
 		yv[i] = vals[i] - out.Base - last*delta
 		wv[i] = sc.weights[i]

@@ -93,15 +93,16 @@ func (e *TreeExplainer) Explain(x, background []float64) Explanation {
 // base/fx through so a leaf reachable by the pure reference (p == 0) or the
 // pure x path (q == 0) contributes to them.
 func (e *TreeExplainer) walk(t *gbdt.Tree, node int32, x, bg, phi []float64, base, fx float64) (float64, float64) {
-	n := &t.Nodes[node]
-	if n.Feature < 0 {
-		return e.leaf(n.Value, phi, base, fx)
+	f := t.Feature[node]
+	if f < 0 {
+		return e.leaf(t.Value[node], phi, base, fx)
 	}
-	xLeft := x[n.Feature] <= n.Threshold
-	rLeft := bg[n.Feature] <= n.Threshold
+	thr := t.Threshold[node]
+	xLeft := x[f] <= thr
+	rLeft := bg[f] <= thr
 
-	base, fx = e.branch(t, n.Left, n.Feature, xLeft, rLeft, x, bg, phi, base, fx)
-	return e.branch(t, n.Right, n.Feature, !xLeft, !rLeft, x, bg, phi, base, fx)
+	base, fx = e.branch(t, t.Left[node], f, xLeft, rLeft, x, bg, phi, base, fx)
+	return e.branch(t, t.Right[node], f, !xLeft, !rLeft, x, bg, phi, base, fx)
 }
 
 // branch pushes one split literal (feature f, satisfied by x iff xOK and by

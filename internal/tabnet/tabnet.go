@@ -19,8 +19,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"math/rand"
-	"sort"
+	"sync"
 
 	"github.com/hpc-repro/aiio/internal/linalg"
 	"github.com/hpc-repro/aiio/internal/parallel"
@@ -107,9 +108,13 @@ func (d *dense) backward(x, gout, gw, gb []float64) []float64 {
 type Model struct {
 	Config Config
 	// Standardization.
-	Mean, Std   []float64
-	YMean, YStd float64
-	NumFeatures int
+	Mean, Std []float64
+	// ConstantCols lists input columns whose training variance was zero;
+	// their Std is clamped to 1 so standardization is a no-op for them
+	// instead of a divide-by-zero NaN.
+	ConstantCols []int
+	YMean, YStd  float64
+	NumFeatures  int
 	// Shared feature transformer: D -> 2H (GLU halves to H = Nd+Na).
 	Shared dense
 	// StepFC are per-step transformers H -> 2H.
@@ -122,28 +127,126 @@ type Model struct {
 	TrainLoss []float64
 	EvalLoss  []float64
 	BestEpoch int
+
+	// invStd caches 1/Std with a unit-scale guard for zero or non-finite
+	// entries (legacy serialized models predate the fit-time clamp). Both
+	// fields are unexported, so gob ignores them and the zero value works
+	// for decoded models.
+	invOnce  sync.Once
+	invStd   []float64
+	stdShift []float64
+	// scratch pools per-worker inference buffers (see infScratch).
+	scratch sync.Pool
 }
 
-// sparsemax projects v onto the probability simplex (Martins & Astudillo).
-// It returns the projection and the support mask.
-func sparsemax(v []float64) (out []float64, support []bool) {
-	n := len(v)
-	sorted := append([]float64(nil), v...)
-	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+// inputInvStd returns the cached per-column reciprocal of Std. Entries that
+// are zero, negative, or non-finite fall back to 1 so standardization can
+// never manufacture a NaN at inference time.
+func (m *Model) inputInvStd() []float64 {
+	m.invOnce.Do(func() {
+		inv := make([]float64, len(m.Std))
+		for j, s := range m.Std {
+			if s > 0 && !math.IsInf(s, 1) {
+				inv[j] = 1 / s
+			} else {
+				inv[j] = 1
+			}
+		}
+		m.invStd = inv
+		shift := make([]float64, len(m.Std))
+		for j := range shift {
+			shift[j] = -m.Mean[j] * inv[j]
+		}
+		m.stdShift = shift
+	})
+	return m.invStd
+}
+
+// sparsemaxTau returns the threshold tau of the sparsemax projection of v
+// (Martins & Astudillo), using cand as candidate scratch (grown as needed;
+// the grown slice is returned). Only entries greater than max(v)-1 can be
+// in the support: a position passing the cumulative guard satisfies
+// z > (cum-1)/(i+1) >= max(v)-1, and every earlier position in descending
+// order holds a larger value still, so scanning just the filtered,
+// descending candidates visits the same prefix sums — and produces the
+// same tau — as scanning the full sorted input. The candidate set is
+// typically a handful of entries, so a branchy insertion sort beats the
+// former interface-dispatched sort.Sort by a wide margin; sparsemax was
+// the hottest single call in the batch-diagnosis profile.
+func sparsemaxTau(v, cand []float64) (float64, []float64) {
+	tau, cand, _ := sparsemaxTauScaled(v, nil, cand, nil)
+	return tau, cand
+}
+
+// sparsemaxTauScaled is sparsemaxTau with an optional fused elementwise
+// pre-scale: when scale is non-nil it first sets v[i] *= scale[i] (the
+// attention-prior product of the TabNet step) during the max scan, saving
+// a separate pass over the logits in the hot loop. It also records the
+// candidate indices in idx (ascending scan order, unlike the descending
+// value-sorted cand), so the caller can restrict its support walk to the
+// candidate superset instead of rescanning all features.
+func sparsemaxTauScaled(v, scale, cand []float64, idx []int32) (float64, []float64, []int32) {
+	var vmax float64
+	if scale != nil {
+		vmax = linalg.ScaleMax(v, scale)
+	} else {
+		vmax = v[0]
+		for _, x := range v[1:] {
+			if x > vmax {
+				vmax = x
+			}
+		}
+	}
+	lim := vmax - 1
+	cand = cand[:0]
+	idx = idx[:0]
+	if len(v) <= 64 {
+		// One vector compare yields the candidate set as a bitmask; only
+		// the (few) set bits are visited, in ascending index order.
+		for m := linalg.MaskGreater(v, lim); m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			x := v[i]
+			idx = append(idx, int32(i))
+			j := len(cand)
+			cand = append(cand, x)
+			for j > 0 && cand[j-1] < x {
+				cand[j] = cand[j-1]
+				j--
+			}
+			cand[j] = x
+		}
+	} else {
+		for i, x := range v {
+			if x > lim {
+				idx = append(idx, int32(i))
+				j := len(cand)
+				cand = append(cand, x)
+				for j > 0 && cand[j-1] < x {
+					cand[j] = cand[j-1]
+					j--
+				}
+				cand[j] = x
+			}
+		}
+	}
 	cum := 0.0
-	k := 0
 	var tau float64
-	for i := 0; i < n; i++ {
-		cum += sorted[i]
+	for i, x := range cand {
+		cum += x
 		t := (cum - 1) / float64(i+1)
-		if sorted[i] > t {
-			k = i + 1
+		if x > t {
 			tau = t
 		}
 	}
-	_ = k
-	out = make([]float64, n)
-	support = make([]bool, n)
+	return tau, cand, idx
+}
+
+// sparsemax projects v onto the probability simplex. It returns the
+// projection and the support mask.
+func sparsemax(v []float64) (out []float64, support []bool) {
+	tau, _ := sparsemaxTau(v, make([]float64, 0, len(v)))
+	out = make([]float64, len(v))
+	support = make([]bool, len(v))
 	for i, x := range v {
 		if x > tau {
 			out[i] = x - tau
@@ -274,6 +377,218 @@ func (m *Model) forwardSample(x []float64, caches *[]stepCache) float64 {
 		(*caches)[0].dPreRelu = agg // stash aggregate in the step-0 cache
 	}
 	return out[0]
+}
+
+// infScratch is one worker's reusable inference state: every intermediate
+// vector of the cache-free forward pass plus, on the scratch that owns the
+// batch call, the standardized input block and the shared-layer transpose.
+type rowState struct {
+	z       []float64 // 2H pre-activation
+	hb      []float64 // H shared GLU output
+	z2      []float64 // 2H step pre-activation
+	hs      []float64 // H step GLU output
+	a       []float64 // attention features
+	agg     []float64 // aggregated decisions
+	logits  []float64
+	prior   []float64
+	cand    []float64 // sparsemax candidate buffer (descending values)
+	candIdx []int32   // sparsemax candidate indices, ascending
+	sup      []int32   // sparsemax support indices, ascending
+	supPrior []float64 // decayed prior values for the support indices
+}
+
+type infScratch struct {
+	xs      linalg.Matrix // standardized input block (batch owner only)
+	r0, r1  rowState      // per-row forward state (r1 only for paired rows)
+	z0a     []float64     // paired initial shared-pass outputs (even row)
+	z0b     []float64     // paired initial shared-pass outputs (odd row)
+	sharedT []float64     // In x Out transpose of Shared.W (batch owner only)
+}
+
+func (m *Model) getScratch() *infScratch {
+	if s, ok := m.scratch.Get().(*infScratch); ok {
+		return s
+	}
+	return &infScratch{}
+}
+
+func (m *Model) putScratch(s *infScratch) { m.scratch.Put(s) }
+
+// resize returns *p with length n, reusing its backing array when large
+// enough. Contents are unspecified after the call.
+func resize(p *[]float64, n int) []float64 {
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return *p
+}
+
+// reshapeMat resizes m to rows x cols, reusing its backing array when
+// large enough. Contents are unspecified after the call.
+func reshapeMat(m *linalg.Matrix, rows, cols int) *linalg.Matrix {
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+	return m
+}
+
+// sharedTranspose rebuilds buf as the In x Out transpose of Shared.W so
+// the masked shared pass can add one contiguous row per selected feature.
+// It is rebuilt per batch call rather than cached on the model because
+// training mutates the weights between epochs.
+func (m *Model) sharedTranspose(buf []float64) []float64 {
+	in, out := m.Shared.In, m.Shared.Out
+	if cap(buf) < in*out {
+		buf = make([]float64, in*out)
+	}
+	buf = buf[:in*out]
+	for o := 0; o < out; o++ {
+		row := m.Shared.W[o*in : (o+1)*in]
+		for i, w := range row {
+			buf[i*out+o] = w
+		}
+	}
+	return buf
+}
+
+// gluInto writes the GLU of z (halves u, v -> u ⊙ σ(v)) into out through
+// the fused linalg.GLUInto kernel.
+func gluInto(out, z []float64) {
+	h := len(z) / 2
+	linalg.GLUInto(out, z[:h], z[h:])
+}
+
+// forwardInference is the cache-free forward pass over one standardized
+// row, the hot path of batch diagnosis. It differs from forwardSample in
+// three ways: all intermediates live in the worker's scratch (zero
+// steady-state allocations), dense layers run on the tiled linalg.GemvT
+// kernel, and the masked shared pass exploits sparsemax sparsity — the
+// mask typically keeps a handful of the features, so x·Wᵀ collapses to a
+// few contiguous axpys over sharedT (the In x Out transpose of Shared.W).
+// Outputs agree with forwardSample to float rounding (see the parity
+// tests), not bitwise: summation orders differ.
+func (m *Model) forwardInference(x []float64, sharedT []float64, rs *rowState) float64 {
+	h2 := 2 * (m.Config.DecisionDim + m.Config.AttentionDim)
+	z := resize(&rs.z, h2)
+	linalg.GemvT(z, m.Shared.W, h2, m.NumFeatures, x, m.Shared.B)
+	return m.forwardInferenceZ(x, z, sharedT, rs)
+}
+
+// stepStart initializes a row's forward state from its shared-pass output.
+func (m *Model) stepStart(z0 []float64, rs *rowState) {
+	d := m.Config.DecisionDim
+	h := d + m.Config.AttentionDim
+	hb := resize(&rs.hb, h)
+	gluInto(hb, z0)
+	a := resize(&rs.a, m.Config.AttentionDim)
+	copy(a, hb[d:h])
+	agg := resize(&rs.agg, d)
+	for i := range agg {
+		agg[i] = 0
+	}
+	prior := resize(&rs.prior, m.NumFeatures)
+	for i := range prior {
+		prior[i] = 1
+	}
+	resize(&rs.logits, m.NumFeatures)
+	resize(&rs.z, 2*h)
+	resize(&rs.z2, 2*h)
+	resize(&rs.hs, h)
+}
+
+// stepMask runs one row's attentive-transformer half step: sparsemax over
+// the scaled logits, the sparse masked shared pass, and the prior decay.
+// Only the sparsemax candidates can exceed tau (tau >= max-1 by
+// construction), so the walk visits the handful of candidate indices, not
+// every feature; mask[i] is lg-tau on the support and 0 off it — no mask
+// vector exists. Off-support priors decay by the full gamma (one vector
+// scale), then the support entries are overwritten with their (gamma - mv)
+// product taken from the pre-decay value, so every prior matches the
+// per-index scalar update bitwise.
+func (m *Model) stepMask(x []float64, sharedT []float64, rs *rowState) {
+	h2 := len(rs.z)
+	gamma := m.Config.Gamma
+	var tau float64
+	tau, rs.cand, rs.candIdx = sparsemaxTauScaled(rs.logits, rs.prior, rs.cand, rs.candIdx)
+	copy(rs.z, m.Shared.B)
+	sup := rs.sup[:0]
+	supPrior := rs.supPrior[:0]
+	for _, ii := range rs.candIdx {
+		if lg := rs.logits[ii]; lg > tau {
+			mv := lg - tau
+			i := int(ii)
+			linalg.Axpy(mv*x[i], sharedT[i*h2:i*h2+h2], rs.z)
+			supPrior = append(supPrior, rs.prior[i]*(gamma-mv))
+			sup = append(sup, ii)
+		}
+	}
+	rs.sup, rs.supPrior = sup, supPrior
+	linalg.Scale(gamma, rs.prior)
+	for k, ii := range sup {
+		rs.prior[ii] = supPrior[k]
+	}
+	gluInto(rs.hb, rs.z)
+}
+
+// stepFinish consumes one row's feature-transformer output: GLU, the ReLU
+// aggregation of the decision half, and the attention handoff.
+func (m *Model) stepFinish(rs *rowState) {
+	d := m.Config.DecisionDim
+	h := d + m.Config.AttentionDim
+	gluInto(rs.hs, rs.z2)
+	for i := 0; i < d; i++ {
+		if rs.hs[i] > 0 {
+			rs.agg[i] += rs.hs[i]
+		}
+	}
+	copy(rs.a, rs.hs[d:h])
+}
+
+// forwardInferenceZ is forwardInference with the initial full shared pass
+// (z0 = Shared.W·x + Shared.B) already computed — predictStandardized
+// batches that pass over row pairs so the shared weights stream once per
+// pair.
+func (m *Model) forwardInferenceZ(x, z0 []float64, sharedT []float64, rs *rowState) float64 {
+	m.stepStart(z0, rs)
+	h2 := 2 * (m.Config.DecisionDim + m.Config.AttentionDim)
+	for s := 0; s < m.Config.Steps; s++ {
+		att := &m.AttFC[s]
+		linalg.GemvT(rs.logits, att.W, m.NumFeatures, att.In, rs.a, att.B)
+		m.stepMask(x, sharedT, rs)
+		fc := &m.StepFC[s]
+		linalg.GemvT(rs.z2, fc.W, h2, fc.In, rs.hb, fc.B)
+		m.stepFinish(rs)
+	}
+	return linalg.Dot(m.Out.W, rs.agg) + m.Out.B[0]
+}
+
+// forwardInferenceZ2 walks two rows through the step loop in lockstep so
+// every per-step dense layer (attention logits and the step feature
+// transformer) streams its weights once per pair via linalg.GemvT2, which
+// is bitwise identical to two GemvT calls. The sparsemax projection and
+// the sparse masked shared pass stay per-row — their cost is data
+// dependent and tiny next to the matmuls.
+func (m *Model) forwardInferenceZ2(x0, x1, z0a, z0b []float64, sharedT []float64, sc *infScratch) (float64, float64) {
+	r0, r1 := &sc.r0, &sc.r1
+	m.stepStart(z0a, r0)
+	m.stepStart(z0b, r1)
+	h2 := 2 * (m.Config.DecisionDim + m.Config.AttentionDim)
+	for s := 0; s < m.Config.Steps; s++ {
+		att := &m.AttFC[s]
+		linalg.GemvT2(r0.logits, r1.logits, att.W, m.NumFeatures, att.In, r0.a, r1.a, att.B)
+		m.stepMask(x0, sharedT, r0)
+		m.stepMask(x1, sharedT, r1)
+		fc := &m.StepFC[s]
+		linalg.GemvT2(r0.z2, r1.z2, fc.W, h2, fc.In, r0.hb, r1.hb, fc.B)
+		m.stepFinish(r0)
+		m.stepFinish(r1)
+	}
+	return linalg.Dot(m.Out.W, r0.agg) + m.Out.B[0],
+		linalg.Dot(m.Out.W, r1.agg) + m.Out.B[0]
 }
 
 // grads bundles the gradient buffers, index-aligned with params().
@@ -541,6 +856,7 @@ func (m *Model) fitStandardizer(x *linalg.Matrix, y []float64) {
 		m.Std[j] = math.Sqrt(m.Std[j] / n)
 		if m.Std[j] < 1e-12 {
 			m.Std[j] = 1
+			m.ConstantCols = append(m.ConstantCols, j)
 		}
 	}
 	m.YMean = linalg.Mean(y)
@@ -556,12 +872,18 @@ func (m *Model) fitStandardizer(x *linalg.Matrix, y []float64) {
 }
 
 func (m *Model) standardizeMatrix(x *linalg.Matrix) *linalg.Matrix {
-	out := linalg.NewMatrix(x.Rows, x.Cols)
+	return m.standardizeInto(linalg.NewMatrix(x.Rows, x.Cols), x)
+}
+
+// standardizeInto writes the standardized rows of x into dst (resized as
+// needed) using the guarded reciprocal stddev.
+func (m *Model) standardizeInto(dst, x *linalg.Matrix) *linalg.Matrix {
+	inv := m.inputInvStd()
+	out := reshapeMat(dst, x.Rows, x.Cols)
 	for i := 0; i < x.Rows; i++ {
-		row, orow := x.Row(i), out.Row(i)
-		for j, v := range row {
-			orow[j] = (v - m.Mean[j]) / m.Std[j]
-		}
+		// (v-mean)/std computed as v*inv - mean*inv with a cached shift
+		// vector — one fused multiply-add per element.
+		linalg.ScaleShiftInto(out.Row(i), x.Row(i), inv, m.stdShift)
 	}
 	return out
 }
@@ -571,21 +893,41 @@ func (m *Model) standardizeMatrix(x *linalg.Matrix) *linalg.Matrix {
 const predictParallelMinRows = 8
 
 // predictStandardized runs the per-row forward passes on the bounded worker
-// pool for large batches (SHAP coalition matrices). forwardSample reads
-// only frozen weights and allocates its own state, and each worker owns a
-// disjoint row range, so the result is bitwise-identical to a sequential
-// pass.
+// pool for large batches (SHAP coalition matrices). forwardInference reads
+// only frozen weights plus the shared read-only transpose, each worker
+// pulls its own scratch from the pool, and each worker owns a disjoint row
+// range, so the sharded result is identical to a sequential pass.
 func (m *Model) predictStandardized(xs *linalg.Matrix) []float64 {
 	out := make([]float64, xs.Rows)
+	owner := m.getScratch()
+	owner.sharedT = m.sharedTranspose(owner.sharedT)
+	st := owner.sharedT
 	workers := 0
 	if xs.Rows < predictParallelMinRows {
 		workers = 1
 	}
 	parallel.For(xs.Rows, workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out[i] = m.forwardSample(xs.Row(i), nil)*m.YStd + m.YMean
+		sc := m.getScratch()
+		h2 := 2 * (m.Config.DecisionDim + m.Config.AttentionDim)
+		za := resize(&sc.z0a, h2)
+		zb := resize(&sc.z0b, h2)
+		i := lo
+		for ; i+1 < hi; i += 2 {
+			// The dense layers dominate the per-row weight traffic; walking
+			// two rows in lockstep streams every weight matrix (shared pass
+			// and the per-step layers inside forwardInferenceZ2) once per
+			// pair, bitwise identical to the per-row path.
+			linalg.GemvT2(za, zb, m.Shared.W, h2, m.NumFeatures, xs.Row(i), xs.Row(i+1), m.Shared.B)
+			y0, y1 := m.forwardInferenceZ2(xs.Row(i), xs.Row(i+1), za, zb, st, sc)
+			out[i] = y0*m.YStd + m.YMean
+			out[i+1] = y1*m.YStd + m.YMean
 		}
+		for ; i < hi; i++ {
+			out[i] = m.forwardInference(xs.Row(i), st, &sc.r0)*m.YStd + m.YMean
+		}
+		m.putScratch(sc)
 	})
+	m.putScratch(owner)
 	return out
 }
 
@@ -609,16 +951,27 @@ func rmseSlices(pred, y []float64) float64 {
 
 // Predict returns the prediction for one raw feature vector.
 func (m *Model) Predict(x []float64) float64 {
-	xs := make([]float64, len(x))
+	sc := m.getScratch()
+	sc.sharedT = m.sharedTranspose(sc.sharedT)
+	xr := reshapeMat(&sc.xs, 1, len(x))
+	inv := m.inputInvStd()
 	for j, v := range x {
-		xs[j] = (v - m.Mean[j]) / m.Std[j]
+		xr.Data[j] = (v - m.Mean[j]) * inv[j]
 	}
-	return m.forwardSample(xs, nil)*m.YStd + m.YMean
+	y := m.forwardInference(xr.Data, sc.sharedT, &sc.r0)*m.YStd + m.YMean
+	m.putScratch(sc)
+	return y
 }
 
-// PredictBatch predicts every row of x.
+// PredictBatch predicts every row of x. The standardized block lives in
+// pooled scratch so repeated SHAP coalition batches stop allocating a
+// fresh matrix per call.
 func (m *Model) PredictBatch(x *linalg.Matrix) []float64 {
-	return m.predictStandardized(m.standardizeMatrix(x))
+	sc := m.getScratch()
+	xs := m.standardizeInto(&sc.xs, x)
+	out := m.predictStandardized(xs)
+	m.putScratch(sc)
+	return out
 }
 
 // ExplainMask returns the average sparsemax attention mask across steps for
