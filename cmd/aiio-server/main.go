@@ -18,6 +18,11 @@
 //	                               persisted as a new registry generation
 //	POST /api/v1/diagnose          Darshan text log -> JSON diagnosis
 //	POST /api/v1/diagnose/batch    stream of logs -> JSON diagnosis array
+//	POST /api/v1/jobs              stream of logs -> durable job log ingest
+//	                               (with -joblog-dir; fsync before ack,
+//	                               deduplicated so retries are idempotent;
+//	                               -retrain-after N triggers a background
+//	                               incremental retrain + validated hot-swap)
 //
 // The diagnosis endpoints sit behind a bounded admission queue: at most
 // -max-inflight requests execute concurrently per endpoint, at most
@@ -48,6 +53,7 @@ import (
 
 	"github.com/hpc-repro/aiio/internal/admission"
 	"github.com/hpc-repro/aiio/internal/core"
+	"github.com/hpc-repro/aiio/internal/joblog"
 	"github.com/hpc-repro/aiio/internal/shap"
 	"github.com/hpc-repro/aiio/internal/webservice"
 )
@@ -76,6 +82,18 @@ func main() {
 		"consecutive failures that open a model's circuit breaker (0 disables breakers)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second,
 		"how long an open breaker waits before probing its model again")
+	joblogDir := flag.String("joblog-dir", "",
+		"durable job log directory; enables POST /api/v1/jobs streaming ingest (empty disables)")
+	retrainAfter := flag.Int("retrain-after", 0,
+		"ingest backlog size that triggers a background incremental retrain (0 disables)")
+	retrainWindow := flag.Int("retrain-window", 20000,
+		"historical records blended into each incremental retrain")
+	retrainMinibatch := flag.Int("retrain-minibatch", 512,
+		"records per backlog drain mini-batch")
+	retrainFast := flag.Bool("retrain-fast", false,
+		"reduced training budgets for incremental retrains")
+	ingestInflight := flag.Int("ingest-inflight", 0,
+		"concurrent ingest requests (its own admission budget; 0 = the -max-inflight default)")
 	flag.Parse()
 
 	store := core.OpenStore(*modelsDir)
@@ -111,6 +129,48 @@ func main() {
 		QueueDepth:  *queueDepth,
 		RetryAfter:  *retryAfter,
 	})
+	if *ingestInflight > 0 {
+		// Ingest is cheap I/O next to the compute-heavy diagnoses; its own
+		// budget keeps a log-shipping burst from starving diagnosis slots
+		// and vice versa.
+		ws.Admission.SetConfig(webservice.IngestEndpoint, admission.Config{
+			MaxInflight: *ingestInflight,
+			QueueDepth:  *queueDepth,
+			RetryAfter:  *retryAfter,
+		})
+	}
+	if *joblogDir != "" {
+		jl, err := joblog.Open(*joblogDir, joblog.Options{})
+		if err != nil {
+			log.Fatalf("aiio-server: open joblog: %v", err)
+		}
+		defer jl.Close()
+		if rec := jl.Recovery(); rec.TornBytes > 0 || rec.Quarantined > 0 || rec.ResealedSegments > 0 {
+			log.Printf("aiio-server: joblog recovery truncated %d torn bytes, quarantined %d records, resealed %d segments",
+				rec.TornBytes, rec.Quarantined, rec.ResealedSegments)
+		}
+		ws.JobLog = jl
+		ws.RetrainThreshold = *retrainAfter
+		topts := core.DefaultTrainOptions()
+		topts.Fast = *retrainFast
+		ws.Retrainer = func(ctx context.Context) (*core.Ensemble, uint64, error) {
+			rep, err := core.RunIncremental(ctx, jl, store, core.IncrementalOptions{
+				MiniBatch: *retrainMinibatch,
+				Window:    *retrainWindow,
+				Train:     topts,
+			})
+			if err != nil {
+				return nil, 0, err
+			}
+			ens, _, err := store.Load()
+			if err != nil {
+				return nil, 0, err
+			}
+			log.Printf("aiio-server: incremental retrain committed generation %d (%d new jobs)",
+				rep.Generation, rep.NewRecords)
+			return ens, rep.Generation, nil
+		}
+	}
 	if *breakerThreshold > 0 {
 		ws.Breakers = admission.NewBreakerSet(admission.BreakerConfig{
 			Threshold: *breakerThreshold,

@@ -1,0 +1,281 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hpc-repro/aiio/internal/core"
+	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/joblog"
+	"github.com/hpc-repro/aiio/internal/logdb"
+	"github.com/hpc-repro/aiio/internal/report"
+	"github.com/hpc-repro/aiio/internal/webservice"
+)
+
+// crashEnv is the fault-injection hook for the CI restart-recovery drill:
+// AIIO_JOBLOG_CRASH=<step>:<n> kills the process (exit 3) the n-th time the
+// joblog reaches the named durability step — a real process death, not a
+// returned error, so recovery is exercised against an abandoned file handle
+// exactly as a power cut would leave it.
+const crashEnv = "AIIO_JOBLOG_CRASH"
+
+func installCrashHook(jl *joblog.Store) error {
+	spec := os.Getenv(crashEnv)
+	if spec == "" {
+		return nil
+	}
+	step, countStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("%s must be <step>:<n>, got %q", crashEnv, spec)
+	}
+	n, err := strconv.Atoi(countStr)
+	if err != nil || n < 1 {
+		return fmt.Errorf("%s count %q must be a positive integer", crashEnv, countStr)
+	}
+	seen := 0
+	jl.SetHook(func(s, path string) error {
+		if s == step {
+			seen++
+			if seen >= n {
+				fmt.Fprintf(os.Stderr, "aiio: injected crash at %s (%s), occurrence %d\n", s, path, seen)
+				os.Exit(3)
+			}
+		}
+		return nil
+	})
+	return nil
+}
+
+// openJobLog opens the durable job store and surfaces what recovery had to
+// repair, so a restart after a crash is never silent about it.
+func openJobLog(dir string) (*joblog.Store, error) {
+	jl, err := joblog.Open(dir, joblog.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rep := jl.Recovery()
+	if rep.TornBytes > 0 || rep.Quarantined > 0 || rep.ResealedSegments > 0 || rep.RemovedDebris > 0 {
+		report.Warn(os.Stderr, "%s: recovery truncated %d torn bytes, quarantined %d records, resealed %d segments, removed %d debris files",
+			dir, rep.TornBytes, rep.Quarantined, rep.ResealedSegments, rep.RemovedDebris)
+	}
+	if err := installCrashHook(jl); err != nil {
+		jl.Close()
+		return nil, err
+	}
+	return jl, nil
+}
+
+// cmdIngest appends jobs to the durable log — from a Darshan dataset file,
+// from the synthetic generator, or shipped to a running server's ingest
+// endpoint instead of a local directory.
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	dir := fs.String("joblog-dir", "joblog", "durable job log directory")
+	db := fs.String("db", "", "Darshan dataset file to ingest (mutually exclusive with -gen)")
+	gen := fs.Int("gen", 0, "generate this many synthetic jobs instead of reading -db")
+	seed := fs.Int64("seed", 1, "seed for -gen")
+	server := fs.String("server", "", "ship to a running aiio-server (base URL) instead of writing -joblog-dir")
+	batch := fs.Int("batch", 256, "records per durability barrier (local) or per request (-server)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*db == "") == (*gen == 0) {
+		return fmt.Errorf("ingest: exactly one of -db or -gen is required")
+	}
+	if *batch < 1 {
+		*batch = 1
+	}
+
+	// Source: stream records one at a time so memory stays flat.
+	var recs []*darshan.Record
+	stream := func(yield func(*darshan.Record) bool) error {
+		if *gen > 0 {
+			logdb.GenerateStream(logdb.GenConfig{Jobs: *gen, Seed: *seed}, yield)
+			return nil
+		}
+		ds, err := loadDB(*db, true)
+		if err != nil {
+			return err
+		}
+		for _, rec := range ds.Records {
+			if !yield(rec) {
+				break
+			}
+		}
+		return nil
+	}
+
+	if *server != "" {
+		client := webservice.NewClient(*server)
+		var total webservice.IngestResponse
+		flush := func() error {
+			if len(recs) == 0 {
+				return nil
+			}
+			resp, err := client.Ingest(recs)
+			if err != nil {
+				return err
+			}
+			total.Accepted += resp.Accepted
+			total.Duplicates += resp.Duplicates
+			total.Quarantined += resp.Quarantined
+			total.ParseRejected += resp.ParseRejected
+			total.Pending = resp.Pending
+			recs = recs[:0]
+			return nil
+		}
+		var streamErr error
+		if err := stream(func(rec *darshan.Record) bool {
+			recs = append(recs, rec)
+			if len(recs) >= *batch {
+				if streamErr = flush(); streamErr != nil {
+					return false
+				}
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if streamErr != nil {
+			return streamErr
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		fmt.Printf("ingested via %s: %d accepted, %d duplicates, %d quarantined, %d rejected (%d pending retrain)\n",
+			*server, total.Accepted, total.Duplicates, total.Quarantined, total.ParseRejected, total.Pending)
+		return nil
+	}
+
+	jl, err := openJobLog(*dir)
+	if err != nil {
+		return err
+	}
+	defer jl.Close()
+	var accepted, duplicates, quarantined, staged int
+	var appendErr error
+	if err := stream(func(rec *darshan.Record) bool {
+		if verr := rec.Validate(); verr != nil {
+			if appendErr = jl.QuarantineRecord(rec, verr.Error()); appendErr != nil {
+				return false
+			}
+			quarantined++
+			return true
+		}
+		res, err := jl.Append(rec)
+		if err != nil {
+			appendErr = err
+			return false
+		}
+		if res.Duplicate {
+			duplicates++
+			return true
+		}
+		accepted++
+		staged++
+		if staged >= *batch {
+			if appendErr = jl.Sync(); appendErr != nil {
+				return false
+			}
+			staged = 0
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	if appendErr != nil {
+		return appendErr
+	}
+	if err := jl.Sync(); err != nil {
+		return err
+	}
+	fmt.Printf("ingested into %s: %d accepted, %d duplicates, %d quarantined (%d pending retrain)\n",
+		*dir, accepted, duplicates, quarantined, jl.Pending())
+	return nil
+}
+
+// cmdRetrain drains the joblog backlog into a fresh ensemble committed as a
+// new model-store generation (the rollback history stays intact).
+func cmdRetrain(args []string) error {
+	fs := flag.NewFlagSet("retrain", flag.ExitOnError)
+	dir := fs.String("joblog-dir", "joblog", "durable job log directory")
+	modelsDir := fs.String("models", "models", "model registry directory")
+	miniBatch := fs.Int("minibatch", 512, "records per drain mini-batch")
+	window := fs.Int("window", 20000, "historical records blended into the training set")
+	minNew := fs.Int("min-new", 1, "minimum backlog size worth retraining on")
+	fast := fs.Bool("fast", false, "reduced training budgets")
+	seed := fs.Int64("seed", 1, "random seed")
+	models := fs.String("train-models", "", "comma-separated subset of models to train (default all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	jl, err := openJobLog(*dir)
+	if err != nil {
+		return err
+	}
+	defer jl.Close()
+	topts := core.DefaultTrainOptions()
+	topts.Fast = *fast
+	topts.Seed = *seed
+	if *models != "" {
+		topts.Models = strings.Split(*models, ",")
+	}
+	rep, err := core.RunIncremental(context.Background(), jl, core.OpenStore(*modelsDir), core.IncrementalOptions{
+		MiniBatch: *miniBatch,
+		Window:    *window,
+		MinNew:    *minNew,
+		Train:     topts,
+	})
+	if err != nil {
+		return err
+	}
+	rows := [][]string{}
+	for _, m := range rep.Train.Models {
+		rows = append(rows, []string{m.Name, fmt.Sprintf("%.4f", m.PredictionRMSE)})
+	}
+	report.Table(os.Stdout, []string{"Model", "Eval RMSE"}, rows)
+	fmt.Printf("retrained on %d new + %d window jobs -> %s generation %d (cursor %d)\n",
+		rep.NewRecords, rep.WindowRecords, *modelsDir, rep.Generation, rep.MaxSeq)
+	return nil
+}
+
+// cmdJobLog prints store statistics or runs a compaction.
+func cmdJobLog(args []string) error {
+	fs := flag.NewFlagSet("joblog", flag.ExitOnError)
+	dir := fs.String("dir", "joblog", "durable job log directory")
+	compact := fs.Bool("compact", false, "compact: drop duplicate frames, rewrite segments, verify checksums")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	jl, err := openJobLog(*dir)
+	if err != nil {
+		return err
+	}
+	defer jl.Close()
+	if *compact {
+		st, err := jl.Compact()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("compacted %s: %d -> %d segments, %d -> %d frames (%d duplicates dropped), %d -> %d bytes, %d sort runs\n",
+			*dir, st.SegmentsIn, st.SegmentsOut, st.FramesIn, st.FramesOut, st.DuplicatesDropped,
+			st.BytesIn, st.BytesOut, st.Runs)
+	}
+	st := jl.Stats()
+	report.KV(os.Stdout, "records", "%d", st.Records)
+	report.KV(os.Stdout, "pending retrain", "%d", st.Pending)
+	report.KV(os.Stdout, "sealed segments", "%d", st.SealedSegments)
+	report.KV(os.Stdout, "total bytes", "%d", st.TotalBytes)
+	report.KV(os.Stdout, "duplicate frames", "%d", st.DuplicateFrames)
+	report.KV(os.Stdout, "quarantined", "%d", st.Quarantined)
+	report.KV(os.Stdout, "compactions", "%d", st.Compactions)
+	if st.LastCompactionUnix > 0 {
+		report.KV(os.Stdout, "last compaction", "%s", time.Unix(st.LastCompactionUnix, 0).UTC().Format(time.RFC3339))
+	}
+	return nil
+}

@@ -4,10 +4,16 @@
 //	aiio train     -db db.darshan -models models/ [-fast] [-lenient]
 //	aiio diagnose  -models models/ -log job.darshan [-top 9] [-interpreter shap|lime] [-shap-mode auto|kernel|tree] [-timeout 30s]
 //	aiio experiment -id all [-fast] [-shap-mode auto|kernel|tree] (table1|table2|table3|fig1|fig4..fig17)
+//	aiio ingest    -joblog-dir joblog (-db db.darshan | -gen N) [-server URL] [-batch 256]
+//	aiio retrain   -joblog-dir joblog -models models/ [-minibatch 512] [-window 20000] [-fast]
+//	aiio joblog    -dir joblog [-compact]
 //
 // gen-db simulates the historical I/O log database, train fits the five
 // performance functions, diagnose prints a job's bottleneck waterfall, and
-// experiment regenerates the paper's tables and figures.
+// experiment regenerates the paper's tables and figures. ingest appends
+// jobs to the crash-safe write-ahead job log (deduplicated, so retries are
+// idempotent), retrain drains its backlog into a new model generation, and
+// joblog inspects or compacts the log.
 package main
 
 import (
@@ -42,6 +48,12 @@ func main() {
 		err = cmdDiagnose(os.Args[2:])
 	case "experiment":
 		err = cmdExperiment(os.Args[2:])
+	case "ingest":
+		err = cmdIngest(os.Args[2:])
+	case "retrain":
+		err = cmdRetrain(os.Args[2:])
+	case "joblog":
+		err = cmdJobLog(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -62,7 +74,10 @@ commands:
   gen-db      generate a synthetic I/O log database (Table 1 substitute)
   train       train the five performance functions on a database
   diagnose    diagnose one Darshan log with a trained model registry
-  experiment  regenerate the paper's tables and figures`)
+  experiment  regenerate the paper's tables and figures
+  ingest      append jobs to the durable job log (or ship them to a server)
+  retrain     incremental retrain: drain the job log into a new generation
+  joblog      job log statistics and compaction`)
 }
 
 func cmdGenDB(args []string) error {

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/features"
+)
+
+// Incremental retraining: drain the joblog's retrain backlog in
+// mini-batches, blend it with a bounded sample of already-incorporated
+// history, train a fresh ensemble, and commit it as a new store generation.
+// The joblog cursor advances only after the generation is durably saved, so
+// a crash anywhere in the pipeline re-delivers the same backlog on the next
+// run — the model store's own generation history provides rollback.
+
+// ErrNoNewJobs reports that the backlog is below the MinNew threshold.
+var ErrNoNewJobs = errors.New("core: not enough new jobs to retrain")
+
+// JobBacklog is the slice of the durable job log that incremental retraining
+// consumes; *joblog.Store satisfies it. Keeping it an interface here keeps
+// core free of a joblog dependency (joblog's tests lean on faults, which
+// leans on core — a concrete type would close that loop into a cycle).
+type JobBacklog interface {
+	// Pending counts records past the retrain cursor.
+	Pending() int
+	// Cursor returns the highest sequence already incorporated.
+	Cursor() uint64
+	// Scan yields every live record in sequence order.
+	Scan(yield func(seq uint64, rec *darshan.Record) bool) error
+	// DrainPending yields the backlog in batches with the max sequence seen.
+	DrainPending(batch int, fn func(recs []*darshan.Record, maxSeq uint64) error) error
+	// AdvanceCursor durably marks everything up to seq as incorporated.
+	AdvanceCursor(seq uint64) error
+}
+
+// IncrementalOptions configures RunIncremental.
+type IncrementalOptions struct {
+	// MiniBatch is the DrainPending batch size (default 512). It bounds the
+	// per-callback allocation, not the total: every pending job is drained.
+	MiniBatch int
+	// Window bounds how many already-incorporated records are blended into
+	// the training set (default 20000, reservoir-sampled). The bound keeps
+	// retraining memory flat as the log grows.
+	Window int
+	// MinNew is the minimum backlog size before retraining is worthwhile
+	// (default 1).
+	MinNew int
+	// Train configures the ensemble fit itself.
+	Train TrainOptions
+}
+
+// IncrementalReport summarizes one incremental retraining run.
+type IncrementalReport struct {
+	// NewRecords is the number of backlog records drained past the cursor.
+	NewRecords int
+	// WindowRecords is the number of historical records blended in.
+	WindowRecords int
+	// Generation is the committed model-store generation.
+	Generation uint64
+	// MaxSeq is the cursor position after the run.
+	MaxSeq uint64
+	// Train is the underlying training report.
+	Train *TrainReport
+}
+
+// ValidateEnsemble probes every model with a synthetic feature vector and
+// rejects an ensemble whose prediction panics or is non-finite. It is the
+// same gate the web service applies to uploaded models before a hot swap;
+// incremental retraining applies it before committing a generation so a
+// degenerate fit can never become the recovery point.
+func ValidateEnsemble(e *Ensemble) error {
+	if e == nil || len(e.Models) == 0 {
+		return fmt.Errorf("core: empty ensemble")
+	}
+	probe := make([]float64, darshan.NumCounters)
+	for j := range probe {
+		probe[j] = float64(j%7) + 0.5
+	}
+	for _, m := range e.Models {
+		if err := probeOne(m, probe); err != nil {
+			return fmt.Errorf("core: model %s failed validation: %w", m.Name(), err)
+		}
+	}
+	return nil
+}
+
+func probeOne(m Model, probe []float64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("probe prediction panicked (feature dimension mismatch with the %d-counter schema?): %v",
+				darshan.NumCounters, r)
+		}
+	}()
+	v := m.Predict(probe)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("probe prediction is %v", v)
+	}
+	return nil
+}
+
+// RunIncremental performs one retraining cycle against jl and store.
+//
+// Ordering is the durability argument: train → validate → Save (a complete
+// new generation, committed through the store's atomic CURRENT flip) →
+// AdvanceCursor. A crash before Save leaves the cursor untouched and the
+// backlog intact; a crash between Save and AdvanceCursor re-trains the same
+// jobs into one more generation — wasteful, never wrong, because ingest
+// dedup means the log holds each job once regardless.
+func RunIncremental(ctx context.Context, jl JobBacklog, store *Store, opts IncrementalOptions) (*IncrementalReport, error) {
+	if opts.MiniBatch <= 0 {
+		opts.MiniBatch = 512
+	}
+	if opts.Window <= 0 {
+		opts.Window = 20000
+	}
+	if opts.MinNew <= 0 {
+		opts.MinNew = 1
+	}
+	if jl.Pending() < opts.MinNew {
+		return nil, ErrNoNewJobs
+	}
+
+	cursor := jl.Cursor()
+
+	// Reservoir-sample the incorporated history into the window. The rng is
+	// seeded from the training seed so a re-run after a crash draws the
+	// same window and trains the same model.
+	rng := rand.New(rand.NewSource(opts.Train.Seed ^ int64(cursor)))
+	window := make([]*darshan.Record, 0, opts.Window)
+	seen := 0
+	if err := jl.Scan(func(seq uint64, rec *darshan.Record) bool {
+		if seq > cursor {
+			return true
+		}
+		seen++
+		if len(window) < opts.Window {
+			window = append(window, rec)
+		} else if k := rng.Intn(seen); k < opts.Window {
+			window[k] = rec
+		}
+		return true
+	}); err != nil {
+		return nil, fmt.Errorf("core: scan history: %w", err)
+	}
+
+	// Drain the backlog in mini-batches.
+	var fresh []*darshan.Record
+	var maxSeq uint64
+	if err := jl.DrainPending(opts.MiniBatch, func(recs []*darshan.Record, hi uint64) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		fresh = append(fresh, recs...)
+		if hi > maxSeq {
+			maxSeq = hi
+		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("core: drain backlog: %w", err)
+	}
+	if len(fresh) < opts.MinNew {
+		return nil, ErrNoNewJobs
+	}
+
+	ds := &darshan.Dataset{Records: make([]*darshan.Record, 0, len(window)+len(fresh))}
+	ds.Records = append(ds.Records, window...)
+	ds.Records = append(ds.Records, fresh...)
+
+	ens, report, err := TrainEnsembleContext(ctx, features.Build(ds), opts.Train)
+	if err != nil {
+		return nil, fmt.Errorf("core: incremental train: %w", err)
+	}
+	if err := ValidateEnsemble(ens); err != nil {
+		return nil, err
+	}
+	gen, err := store.Save(ens)
+	if err != nil {
+		return nil, fmt.Errorf("core: commit generation: %w", err)
+	}
+	// Only now is the backlog truly incorporated.
+	if err := jl.AdvanceCursor(maxSeq); err != nil {
+		return nil, fmt.Errorf("core: advance cursor (generation %d is committed; the next run re-trains the same jobs): %w", gen, err)
+	}
+	return &IncrementalReport{
+		NewRecords:    len(fresh),
+		WindowRecords: len(window),
+		Generation:    gen,
+		MaxSeq:        maxSeq,
+		Train:         report,
+	}, nil
+}

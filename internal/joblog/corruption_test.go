@@ -1,0 +1,270 @@
+package joblog
+
+import (
+	"os"
+	"testing"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+)
+
+// Table-driven corruption tests, mirroring internal/gbdt/validate_test.go:
+// each case mutates the active segment's bytes on disk and states exactly
+// what recovery must do — which records survive, how many payloads land in
+// quarantine, how many tail bytes are truncated. A full frame with a bad
+// checksum is quarantined (the framing is still trustworthy); bytes that
+// cannot frame a record at all are a torn tail and are cut off.
+
+func TestRecoveryFromCorruptSegments(t *testing.T) {
+	const n = 6 // records appended before corruption
+
+	// Frame boundaries are fixed per index because testRecord is
+	// deterministic; compute them once from a throwaway encoding.
+	frameAt := func(i int) (off, size int) {
+		for j := 0; j <= i; j++ {
+			off += size
+			size = len(appendFrame(nil, encodePayload(nil, uint64(j+1), testRecord(j))))
+		}
+		return off, size
+	}
+
+	cases := []struct {
+		name        string
+		corrupt     func(t *testing.T, data []byte) []byte
+		wantJobs    int
+		wantQuar    int
+		wantTorn    bool
+		wantDup     int
+		reappendIdx int // record to re-send after recovery; -1 to skip
+	}{
+		{
+			name: "bit flip in a middle payload",
+			corrupt: func(t *testing.T, data []byte) []byte {
+				off, _ := frameAt(2)
+				data[off+frameHeaderLen+12] ^= 0x40 // flip inside jobID
+				return data
+			},
+			// The damaged record is quarantined; the five intact
+			// neighbours — including those *after* the damage — survive.
+			wantJobs:    n - 1,
+			wantQuar:    1,
+			reappendIdx: 2,
+		},
+		{
+			name: "bit flip in a stored CRC",
+			corrupt: func(t *testing.T, data []byte) []byte {
+				off, _ := frameAt(1)
+				data[off+4] ^= 0x01
+				return data
+			},
+			wantJobs:    n - 1,
+			wantQuar:    1,
+			reappendIdx: 1,
+		},
+		{
+			name: "truncation mid-record",
+			corrupt: func(t *testing.T, data []byte) []byte {
+				off, size := frameAt(n - 1)
+				return data[:off+size/2]
+			},
+			wantJobs:    n - 1,
+			wantTorn:    true,
+			reappendIdx: n - 1,
+		},
+		{
+			name: "truncation inside the frame header",
+			corrupt: func(t *testing.T, data []byte) []byte {
+				off, _ := frameAt(n - 1)
+				return data[:off+3]
+			},
+			wantJobs:    n - 1,
+			wantTorn:    true,
+			reappendIdx: n - 1,
+		},
+		{
+			name: "length field zeroed",
+			corrupt: func(t *testing.T, data []byte) []byte {
+				off, _ := frameAt(3)
+				// A zero length cannot frame the stream: everything from
+				// this offset on is a torn tail.
+				for i := 0; i < 4; i++ {
+					data[off+i] = 0
+				}
+				return data
+			},
+			wantJobs:    3,
+			wantTorn:    true,
+			reappendIdx: 3,
+		},
+		{
+			name: "length field absurdly large",
+			corrupt: func(t *testing.T, data []byte) []byte {
+				off, _ := frameAt(3)
+				data[off] = 0xFF
+				data[off+1] = 0xFF
+				data[off+2] = 0xFF
+				data[off+3] = 0x7F
+				return data
+			},
+			wantJobs:    3,
+			wantTorn:    true,
+			reappendIdx: 3,
+		},
+		{
+			name: "duplicated tail — last frame repeated verbatim",
+			corrupt: func(t *testing.T, data []byte) []byte {
+				off, size := frameAt(n - 1)
+				return append(data, data[off:off+size]...)
+			},
+			// The copied frame carries the original seq, so recovery sees a
+			// physical duplicate and the dedup mask hides it from Scan.
+			wantJobs:    n,
+			wantDup:     1,
+			reappendIdx: -1,
+		},
+		{
+			name: "garbage appended after the last frame",
+			corrupt: func(t *testing.T, data []byte) []byte {
+				return append(data, 0xDE, 0xAD, 0xBE, 0xEF, 0x01)
+			},
+			wantJobs:    n,
+			wantTorn:    true,
+			reappendIdx: -1,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s := mustOpen(t, dir, Options{})
+			for i := 0; i < n; i++ {
+				if _, err := s.Append(testRecord(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			path := s.segPath(1)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.corrupt(t, data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := mustOpen(t, dir, Options{})
+			counts := make(map[int64]int)
+			if err := s2.Scan(func(seq uint64, rec *darshan.Record) bool {
+				counts[rec.JobID]++
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(counts) != tc.wantJobs {
+				t.Fatalf("%d jobs survive, want %d", len(counts), tc.wantJobs)
+			}
+			for id, c := range counts {
+				if c != 1 {
+					t.Fatalf("job %d yielded %d times", id, c)
+				}
+			}
+			rep := s2.Recovery()
+			if rep.Quarantined != tc.wantQuar {
+				t.Fatalf("quarantined %d payloads, want %d (report %+v)", rep.Quarantined, tc.wantQuar, rep)
+			}
+			if tc.wantTorn && rep.TornBytes == 0 {
+				t.Fatalf("expected a torn tail, report %+v", rep)
+			}
+			if !tc.wantTorn && rep.TornBytes != 0 {
+				t.Fatalf("unexpected truncation of %d bytes, report %+v", rep.TornBytes, rep)
+			}
+			if rep.DuplicateFrames != tc.wantDup {
+				t.Fatalf("duplicate frames %d, want %d", rep.DuplicateFrames, tc.wantDup)
+			}
+
+			// A record lost to corruption must be acceptable again as a
+			// fresh append — quarantine removes it from the dedup index's
+			// world, truncation never admitted it.
+			if tc.reappendIdx >= 0 {
+				res, err := s2.Append(testRecord(tc.reappendIdx))
+				if err != nil {
+					t.Fatalf("re-append: %v", err)
+				}
+				if res.Duplicate {
+					t.Fatalf("re-append of lost record reported duplicate: %+v", res)
+				}
+				if err := s2.Sync(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// And the repaired store must reopen cleanly: recovery rewrote
+			// or truncated the damage, it doesn't resurface.
+			if err := s2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s3 := mustOpen(t, dir, Options{})
+			rep3 := s3.Recovery()
+			if rep3.Quarantined != 0 || rep3.TornBytes != 0 {
+				t.Fatalf("second reopen still repairing: %+v", rep3)
+			}
+		})
+	}
+}
+
+// TestCorruptSealedSegmentSalvaged damages a sealed segment (one recorded
+// in the manifest with a SHA-256). Recovery must notice the digest
+// mismatch, salvage the intact records, and quarantine the damaged one.
+func TestCorruptSealedSegmentSalvaged(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	const n = 10
+	for i := 0; i < n; i++ {
+		if _, err := s.Append(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Rotate(); err != nil { // seals segment 1 into the manifest
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := s.segPath(1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the third record.
+	off := 0
+	for j := 0; j < 2; j++ {
+		off += len(appendFrame(nil, encodePayload(nil, uint64(j+1), testRecord(j))))
+	}
+	data[off+frameHeaderLen+20] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	rep := s2.Recovery()
+	if rep.Quarantined != 1 {
+		t.Fatalf("recovery: %+v, want 1 quarantined payload", rep)
+	}
+	counts := make(map[int64]int)
+	if err := s2.Scan(func(seq uint64, rec *darshan.Record) bool {
+		counts[rec.JobID]++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != n-1 {
+		t.Fatalf("%d records salvaged, want %d", len(counts), n-1)
+	}
+	if st := s2.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

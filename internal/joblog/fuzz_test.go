@@ -1,0 +1,96 @@
+package joblog
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+)
+
+// FuzzDecodePayload drives arbitrary bytes through the WAL payload decoder.
+// Two invariants: the decoder never panics, and any byte string it accepts
+// re-encodes byte-identically (the format is canonical, so hashing and
+// salvage-rewrite are stable).
+func FuzzDecodePayload(f *testing.F) {
+	// Seed with real encodings of varied shapes plus near-miss mutants.
+	for _, i := range []int{0, 1, 7, 42} {
+		f.Add(encodePayload(nil, uint64(i+1), testRecord(i)))
+	}
+	long := testRecord(5)
+	long.App = string(bytes.Repeat([]byte("x"), maxAppLen))
+	f.Add(encodePayload(nil, 9, long))
+	empty := testRecord(6)
+	empty.App = ""
+	f.Add(encodePayload(nil, 10, empty))
+	f.Add([]byte{})
+	f.Add([]byte{payloadMagic})
+	f.Add([]byte{payloadMagic, payloadVersion})
+	f.Add([]byte{payloadMagic, 0xFF, 1, 2, 3})
+	trunc := encodePayload(nil, 3, testRecord(2))
+	f.Add(trunc[:len(trunc)/2])
+	f.Add(append(encodePayload(nil, 4, testRecord(3)), 0x00)) // trailing byte
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, rec, err := decodePayload(data)
+		if err != nil {
+			return
+		}
+		// Accepted ⇒ canonical: re-encoding reproduces the input exactly.
+		out := encodePayload(nil, seq, rec)
+		if !bytes.Equal(out, data) {
+			t.Fatalf("accepted payload does not round-trip:\n in  %x\n out %x", data, out)
+		}
+		// And the idempotency hash must ignore seq: a re-sequenced copy of
+		// the same record hashes identically.
+		resent := encodePayload(nil, seq+1000, rec)
+		if payloadHash(resent) != payloadHash(data) {
+			t.Fatalf("hash is seq-sensitive: %x vs %x", payloadHash(data), payloadHash(resent))
+		}
+	})
+}
+
+// FuzzParseFrame checks that the framing layer never panics and never
+// claims a valid frame for bytes whose checksum doesn't cover the payload.
+func FuzzParseFrame(f *testing.F) {
+	f.Add(appendFrame(nil, encodePayload(nil, 1, testRecord(0))))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0xA7})
+	f.Add(bytes.Repeat([]byte{0xFF}, 32))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, payload, size := parseFrame(data)
+		switch res {
+		case frameOK:
+			if size < frameHeaderLen || size > len(data) {
+				t.Fatalf("frameOK with size %d over %d input bytes", size, len(data))
+			}
+			// The payload must verify against the stored checksum — that's
+			// what frameOK asserts — so a reframe is byte-identical.
+			reframed := appendFrame(nil, payload)
+			if !bytes.Equal(reframed, data[:size]) {
+				t.Fatalf("frameOK bytes do not reframe identically")
+			}
+		case frameCorrupt:
+			if size < frameHeaderLen || size > len(data) {
+				t.Fatalf("frameCorrupt with size %d over %d input bytes", size, len(data))
+			}
+		case frameTorn:
+			if size != 0 {
+				t.Fatalf("frameTorn must consume nothing, got %d", size)
+			}
+		}
+	})
+}
+
+// TestDecodeRejectsWrongCounterCount pins the schema check: a payload
+// claiming a different counter count than the compiled-in schema is an
+// error, never a partial record.
+func TestDecodeRejectsWrongCounterCount(t *testing.T) {
+	p := encodePayload(nil, 1, testRecord(0))
+	// The counter-count byte sits right before the counter block.
+	idx := len(p) - int(darshan.NumCounters)*8 - 1
+	p[idx] = byte(darshan.NumCounters) - 1
+	if _, _, err := decodePayload(p); err == nil {
+		t.Fatal("decoder accepted a payload with a mismatched counter count")
+	}
+}

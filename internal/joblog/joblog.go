@@ -1,0 +1,950 @@
+// Package joblog is the durable half of the fleet-telemetry story: an
+// append-only, crash-safe, on-disk job store that absorbs the Darshan
+// record stream the AIIO service continuously learns from (the 825 GB /
+// 6.6 M-job archive of Table 1, as a write-ahead log instead of an
+// in-memory Dataset).
+//
+// Layout:
+//
+//	dir/
+//	  MANIFEST            ← JSON: sealed segments with SHA-256, compaction
+//	                        history (committed via tmp + fsync + rename)
+//	  CURSOR              ← "seq\n": jobs ≤ seq are incorporated in a
+//	                        committed model generation (atomic rename)
+//	  segments/
+//	    00000001.wal      ← sealed (immutable, checksummed in MANIFEST)
+//	    00000002.wal      ← active (append-only; not yet in MANIFEST)
+//	  quarantine/
+//	    quarantine.log    ← checksum-failing records, kept not dropped
+//
+// Records are framed as length + CRC-32C + payload (codec.go). The
+// durability contract: a job is acknowledged only after Sync returns, and
+// every acknowledged job survives any crash exactly once. Recovery
+// truncates a torn tail (an incomplete or unframeable trailing write),
+// quarantines checksum-failing records that are still cleanly framed, and
+// deduplicates replayed appends by job hash, so client retries after a
+// lost ack are idempotent.
+//
+// Compaction (compact.go) rewrites the sealed segments through a chunked
+// sort + k-way heap merge, dropping physical duplicates, in bounded
+// memory — the store operates on datasets larger than RAM. The in-memory
+// footprint that remains is the dedup index, ~16 bytes per unique job.
+package joblog
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+)
+
+const (
+	manifestName  = "MANIFEST"
+	cursorName    = "CURSOR"
+	segmentsDir   = "segments"
+	quarantineDir = "quarantine"
+	quarantineLog = "quarantine.log"
+	segmentExt    = ".wal"
+	tmpPrefix     = ".tmp-"
+
+	// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
+	// is zero.
+	DefaultSegmentBytes = 8 << 20
+)
+
+// Durable-step hook names, in the order an append/rotate/compact hits
+// them. A fault-injection hook (faults.CrashAfterSteps / CrashAtStep)
+// aborts the operation at one of these points to simulate a crash landing
+// there; production stores have no hook.
+const (
+	StepAppendWrite     = "append-write"      // before writing one record's frame
+	StepAppendSync      = "append-sync"       // before fsyncing the active segment
+	StepSealSync        = "seal-sync"         // before fsyncing a segment being sealed
+	StepSealManifest    = "seal-manifest"     // before committing the manifest that seals it
+	StepCompactRun      = "compact-run"       // before writing one sorted run
+	StepCompactMerge    = "compact-merge"     // before the k-way merge starts
+	StepCompactSeal     = "compact-seal"      // before renaming one merged segment into place
+	StepCompactManifest = "compact-manifest"  // before committing the compacted manifest
+	StepCompactCleanup  = "compact-cleanup"   // before deleting one superseded segment
+	StepCursorCommit    = "cursor-commit"     // before committing the retrain cursor
+)
+
+// segmentInfo describes one sealed (immutable) segment in the manifest.
+type segmentInfo struct {
+	File   string `json:"file"`
+	Frames int    `json:"frames"`
+	Bytes  int64  `json:"bytes"`
+	SHA256 string `json:"sha256"`
+}
+
+type manifest struct {
+	Sealed             []segmentInfo `json:"sealed"`
+	Compactions        int           `json:"compactions,omitempty"`
+	LastCompactionUnix int64         `json:"last_compaction_unix,omitempty"`
+}
+
+// Options tunes a store. The zero value is production-ready.
+type Options struct {
+	// SegmentBytes is the size at which the active segment is sealed and a
+	// new one opened (DefaultSegmentBytes when 0). Sealing fsyncs the
+	// segment and commits it — with its SHA-256 — to the manifest.
+	SegmentBytes int64
+	// SyncEvery, when > 0, fsyncs the active segment automatically after
+	// every N appends. Regardless of its value, Sync must be called before
+	// acknowledging a batch: only synced records are durable.
+	SyncEvery int
+	// ChunkRecords bounds how many records a compaction sorts in memory at
+	// once (DefaultChunkRecords when 0).
+	ChunkRecords int
+}
+
+// RecoveryReport says what Open had to repair.
+type RecoveryReport struct {
+	// TornBytes is how many trailing bytes were truncated as torn writes.
+	TornBytes int64 `json:"torn_bytes,omitempty"`
+	// Quarantined is how many checksum-failing or undecodable records were
+	// moved to the quarantine log during this recovery.
+	Quarantined int `json:"quarantined,omitempty"`
+	// ResealedSegments counts segments that were committed to the manifest
+	// by recovery (a crash landed between seal-sync and seal-manifest).
+	ResealedSegments int `json:"resealed_segments,omitempty"`
+	// RemovedDebris counts swept temp files and superseded segments left
+	// by a crashed compaction.
+	RemovedDebris int `json:"removed_debris,omitempty"`
+	// DuplicateFrames counts physical duplicate frames found on disk
+	// (replayed appends, crash-interrupted compactions); they are masked
+	// by the dedup index until the next compaction drops them.
+	DuplicateFrames int `json:"duplicate_frames,omitempty"`
+}
+
+// Store is a crash-safe append-only job store rooted at a directory.
+type Store struct {
+	dir  string
+	opts Options
+
+	// hook, when non-nil, runs before each durable step and aborts it on
+	// error — the fault-injection seam for crash drills. Tests only.
+	hook func(step, path string) error
+
+	mu          sync.Mutex
+	active      *os.File
+	activeBuf   []byte // frames appended but not yet flushed to the file
+	activeIdx   uint64
+	activeBytes int64 // file bytes + buffered bytes
+	man         manifest
+	nextSegIdx  uint64
+	nextSeq     uint64
+	cursor      uint64
+	index       map[uint64]uint64 // payload hash → first (lowest) seq
+	records     int               // unique records
+	dupFrames   int               // physical duplicate frames on disk
+	quarantined int               // lifetime quarantine entries
+	sealedBytes     int64
+	unsyncedAppends int
+	recovery        RecoveryReport
+	encBuf          []byte
+}
+
+// Open opens (creating if needed) the store at dir, running recovery:
+// temp debris is swept, sealed segments are verified against their
+// manifest checksums, torn tails are truncated, corrupt records are
+// quarantined, and the dedup index is rebuilt.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	s := &Store{
+		dir:     dir,
+		opts:    opts,
+		nextSeq: 1,
+		index:   make(map[uint64]uint64),
+	}
+	for _, d := range []string{dir, filepath.Join(dir, segmentsDir), filepath.Join(dir, quarantineDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("joblog: create %s: %w", d, err)
+		}
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir is the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// SetHook installs a fault-injection hook called before every durable
+// step with (step, path). A non-nil error aborts the operation at that
+// point, leaving whatever partial state a real crash would leave.
+func (s *Store) SetHook(h func(step, path string) error) { s.hook = h }
+
+func (s *Store) step(step, path string) error {
+	if s.hook == nil {
+		return nil
+	}
+	if err := s.hook(step, path); err != nil {
+		return fmt.Errorf("joblog: aborted at %s (%s): %w", step, path, err)
+	}
+	return nil
+}
+
+func (s *Store) segPath(idx uint64) string {
+	return filepath.Join(s.dir, segmentsDir, fmt.Sprintf("%08d%s", idx, segmentExt))
+}
+
+func segIndex(name string) (uint64, bool) {
+	base, ok := strings.CutSuffix(name, segmentExt)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// recover is the Open-time recovery state machine:
+//
+//  1. sweep .tmp-* debris from crashed seals and compactions
+//  2. load MANIFEST; segments it lists are the sealed, immutable set
+//  3. remove on-disk segments ≤ max(manifest index) that the manifest
+//     does not list — superseded by a committed compaction whose cleanup
+//     was interrupted
+//  4. scan every sealed segment; a checksum mismatch against the manifest
+//     demotes the segment to a record-by-record salvage (valid frames
+//     kept, corrupt ones quarantined, the file rewritten atomically)
+//  5. segments > max(manifest index) are unsealed tails (a crash landed
+//     between rotation and its manifest commit, or mid-compaction):
+//     salvage-scan each, truncate the torn tail of the last, reseal all
+//     but the last into the manifest, and adopt the last as the active
+//     segment
+//  6. rebuild the dedup index and sequence counter from the surviving
+//     frames; read CURSOR
+func (s *Store) recover() error {
+	segRoot := filepath.Join(s.dir, segmentsDir)
+	entries, err := os.ReadDir(segRoot)
+	if err != nil {
+		return fmt.Errorf("joblog: read segments: %w", err)
+	}
+	// (1) sweep temp debris.
+	var segIdxs []uint64
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			os.Remove(filepath.Join(segRoot, e.Name()))
+			s.recovery.RemovedDebris++
+			continue
+		}
+		if idx, ok := segIndex(e.Name()); ok {
+			segIdxs = append(segIdxs, idx)
+		}
+	}
+	sort.Slice(segIdxs, func(i, j int) bool { return segIdxs[i] < segIdxs[j] })
+
+	// (2) load the manifest.
+	manChanged := false
+	if data, err := os.ReadFile(filepath.Join(s.dir, manifestName)); err == nil {
+		if err := json.Unmarshal(data, &s.man); err != nil {
+			return fmt.Errorf("joblog: parse manifest: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("joblog: read manifest: %w", err)
+	}
+	inManifest := make(map[uint64]segmentInfo, len(s.man.Sealed))
+	var maxSealed uint64
+	for _, si := range s.man.Sealed {
+		idx, ok := segIndex(si.File)
+		if !ok {
+			return fmt.Errorf("joblog: manifest names foreign segment %q", si.File)
+		}
+		inManifest[idx] = si
+		if idx > maxSealed {
+			maxSealed = idx
+		}
+	}
+
+	// (3) drop superseded segments; collect unsealed tails.
+	var tails []uint64
+	for _, idx := range segIdxs {
+		if _, ok := inManifest[idx]; ok {
+			continue
+		}
+		if idx <= maxSealed {
+			os.Remove(s.segPath(idx))
+			s.recovery.RemovedDebris++
+			continue
+		}
+		tails = append(tails, idx)
+	}
+
+	// Drop manifest entries whose files vanished (should not happen; a
+	// missing sealed segment is data loss we can only surface, not undo).
+	kept := s.man.Sealed[:0]
+	for _, si := range s.man.Sealed {
+		if _, err := os.Stat(filepath.Join(segRoot, si.File)); err == nil {
+			kept = append(kept, si)
+		} else {
+			manChanged = true
+		}
+	}
+	s.man.Sealed = kept
+
+	// (4) verify + scan sealed segments.
+	for i := range s.man.Sealed {
+		si := &s.man.Sealed[i]
+		path := filepath.Join(segRoot, si.File)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("joblog: read sealed segment %s: %w", si.File, err)
+		}
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) == si.SHA256 {
+			if err := s.indexFrames(data, si.File); err != nil {
+				return err
+			}
+			s.sealedBytes += si.Bytes
+			continue
+		}
+		// Checksum mismatch: salvage record by record.
+		clean, frames, err := s.salvage(data, si.File)
+		if err != nil {
+			return err
+		}
+		if err := writeFileSync(path, clean); err != nil {
+			return fmt.Errorf("joblog: rewrite salvaged segment %s: %w", si.File, err)
+		}
+		newSum := sha256.Sum256(clean)
+		si.SHA256 = hex.EncodeToString(newSum[:])
+		si.Bytes = int64(len(clean))
+		si.Frames = frames
+		s.sealedBytes += si.Bytes
+		manChanged = true
+	}
+
+	// (5) unsealed tails: salvage each; all but the last are resealed,
+	// the last becomes the active segment.
+	for i, idx := range tails {
+		path := s.segPath(idx)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("joblog: read segment %s: %w", path, err)
+		}
+		clean, frames, err := s.salvage(data, filepath.Base(path))
+		if err != nil {
+			return err
+		}
+		if len(clean) != len(data) {
+			if err := writeFileSync(path, clean); err != nil {
+				return fmt.Errorf("joblog: truncate torn segment %s: %w", path, err)
+			}
+		}
+		last := i == len(tails)-1
+		if !last {
+			sum := sha256.Sum256(clean)
+			s.man.Sealed = append(s.man.Sealed, segmentInfo{
+				File:   filepath.Base(path),
+				Frames: frames,
+				Bytes:  int64(len(clean)),
+				SHA256: hex.EncodeToString(sum[:]),
+			})
+			s.sealedBytes += int64(len(clean))
+			s.recovery.ResealedSegments++
+			manChanged = true
+			continue
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("joblog: open active segment: %w", err)
+		}
+		s.active = f
+		s.activeIdx = idx
+		s.activeBytes = int64(len(clean))
+	}
+
+	if n := len(segIdxs); n > 0 {
+		s.nextSegIdx = segIdxs[n-1] + 1
+	} else {
+		s.nextSegIdx = 1
+	}
+	if maxSealed >= s.nextSegIdx {
+		s.nextSegIdx = maxSealed + 1
+	}
+
+	// (6) cursor + quarantine count.
+	if data, err := os.ReadFile(filepath.Join(s.dir, cursorName)); err == nil {
+		if n, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64); err == nil {
+			s.cursor = n
+		}
+	}
+	// The quarantine log already holds whatever salvage wrote this pass, so
+	// this is an assignment, not an addition.
+	s.quarantined = countQuarantine(filepath.Join(s.dir, quarantineDir, quarantineLog))
+
+	if manChanged {
+		if err := s.commitManifest(""); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// indexFrames walks a verified segment's frames, feeding the dedup index.
+// A verified segment (manifest checksum matched) can still carry physical
+// duplicates — replayed appends — which are counted, not indexed twice.
+func (s *Store) indexFrames(data []byte, file string) error {
+	off := 0
+	for off < len(data) {
+		res, payload, size := parseFrame(data[off:])
+		if res != frameOK {
+			// A sealed segment whose SHA-256 matched cannot hold a bad
+			// frame unless the manifest itself was written around one —
+			// treat like salvage would.
+			return fmt.Errorf("joblog: verified segment %s has unparseable frame at offset %d", file, off)
+		}
+		seq, _, err := decodePayload(payload)
+		if err != nil {
+			return fmt.Errorf("joblog: verified segment %s has undecodable payload at offset %d: %v", file, off, err)
+		}
+		s.noteFrame(payloadHash(payload), seq)
+		off += size
+	}
+	return nil
+}
+
+// noteFrame registers one on-disk frame with the dedup index.
+func (s *Store) noteFrame(hash, seq uint64) {
+	if first, ok := s.index[hash]; ok {
+		if seq < first {
+			s.index[hash] = seq
+		}
+		s.dupFrames++
+		s.recovery.DuplicateFrames++
+	} else {
+		s.index[hash] = seq
+		s.records++
+	}
+	if seq >= s.nextSeq {
+		s.nextSeq = seq + 1
+	}
+}
+
+// salvage scans raw segment bytes record by record: valid frames are kept
+// (and indexed), checksum-failing or undecodable ones are quarantined, and
+// an unframeable tail is dropped (torn-write truncation). It returns the
+// clean bytes and the number of surviving frames.
+func (s *Store) salvage(data []byte, file string) (clean []byte, frames int, err error) {
+	clean = make([]byte, 0, len(data))
+	off := 0
+	for off < len(data) {
+		res, payload, size := parseFrame(data[off:])
+		switch res {
+		case frameOK:
+			if seq, _, derr := decodePayload(payload); derr != nil {
+				if qerr := s.quarantine(payload, fmt.Sprintf("%s@%d: %v", file, off, derr)); qerr != nil {
+					return nil, 0, qerr
+				}
+			} else {
+				s.noteFrame(payloadHash(payload), seq)
+				clean = append(clean, data[off:off+size]...)
+				frames++
+			}
+			off += size
+		case frameCorrupt:
+			if qerr := s.quarantine(payload, fmt.Sprintf("%s@%d: crc mismatch", file, off)); qerr != nil {
+				return nil, 0, qerr
+			}
+			off += size
+		case frameTorn:
+			s.recovery.TornBytes += int64(len(data) - off)
+			return clean, frames, nil
+		}
+	}
+	return clean, frames, nil
+}
+
+// quarantine appends one bad record's bytes to the quarantine log: kept,
+// not dropped, so an operator (or a future decoder fix) can recover them.
+func (s *Store) quarantine(payload []byte, reason string) error {
+	path := filepath.Join(s.dir, quarantineDir, quarantineLog)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("joblog: open quarantine log: %w", err)
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintf(f, "# quarantined time=%d bytes=%d reason=%q\n%s\n",
+		time.Now().Unix(), len(payload), reason, hex.EncodeToString(payload)); err != nil {
+		return fmt.Errorf("joblog: write quarantine log: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("joblog: sync quarantine log: %w", err)
+	}
+	s.quarantined++
+	s.recovery.Quarantined++
+	return nil
+}
+
+// countQuarantine counts entries in the quarantine log.
+func countQuarantine(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	return strings.Count(string(data), "# quarantined ")
+}
+
+// Recovery reports what Open repaired.
+func (s *Store) Recovery() RecoveryReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovery
+}
+
+// AppendResult reports one append.
+type AppendResult struct {
+	// Seq is the record's sequence number (the original's for a duplicate).
+	Seq uint64
+	// Duplicate is true when the job hash was already present: a client
+	// retry or a re-ingested file. Nothing was written.
+	Duplicate bool
+}
+
+// QuarantineRecord routes a record that failed ingest-boundary validation
+// (NaN/Inf counters, Record.Validate failure) to the quarantine log
+// instead of the WAL, so it can never poison incremental retraining.
+func (s *Store) QuarantineRecord(rec *darshan.Record, reason string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	payload := encodePayload(nil, 0, rec)
+	return s.quarantine(payload, "ingest: "+reason)
+}
+
+// QuarantineNote records a boundary rejection whose raw record is not
+// recoverable — the text parser refused it before a Record existed — so
+// only the reason is preserved, with an empty payload.
+func (s *Store) QuarantineNote(reason string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantine(nil, "ingest: "+reason)
+}
+
+// Append stages one record in the active segment. The record is NOT
+// durable until Sync returns (or the SyncEvery policy fires); callers must
+// not acknowledge it before then. Appending a job whose hash is already
+// present is a no-op reported as Duplicate — retries are idempotent.
+func (s *Store) Append(rec *darshan.Record) (AppendResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.encBuf = encodePayload(s.encBuf[:0], s.nextSeq, rec)
+	hash := payloadHash(s.encBuf)
+	if first, ok := s.index[hash]; ok {
+		return AppendResult{Seq: first, Duplicate: true}, nil
+	}
+	if s.active == nil {
+		if err := s.openActive(); err != nil {
+			return AppendResult{}, err
+		}
+	}
+	if err := s.step(StepAppendWrite, s.segPath(s.activeIdx)); err != nil {
+		return AppendResult{}, err
+	}
+	frame := appendFrame(nil, s.encBuf)
+	s.activeBuf = append(s.activeBuf, frame...)
+	seq := s.nextSeq
+	s.nextSeq++
+	s.index[hash] = seq
+	s.records++
+	s.activeBytes += int64(len(frame))
+	s.unsyncedAppends++
+	res := AppendResult{Seq: seq}
+	if s.opts.SyncEvery > 0 && s.unsyncedAppends >= s.opts.SyncEvery {
+		if err := s.syncLocked(); err != nil {
+			return res, err
+		}
+	}
+	if s.activeBytes >= s.opts.SegmentBytes {
+		if err := s.sealLocked(); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+func (s *Store) openActive() error {
+	idx := s.nextSegIdx
+	f, err := os.OpenFile(s.segPath(idx), os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("joblog: create segment: %w", err)
+	}
+	s.active = f
+	s.activeIdx = idx
+	s.activeBytes = 0
+	s.nextSegIdx++
+	syncDir(filepath.Join(s.dir, segmentsDir))
+	return nil
+}
+
+// flushLocked writes the staged frames to the active segment file.
+func (s *Store) flushLocked() error {
+	if len(s.activeBuf) == 0 {
+		return nil
+	}
+	if s.active == nil {
+		return fmt.Errorf("joblog: staged bytes with no active segment")
+	}
+	if _, err := s.active.Write(s.activeBuf); err != nil {
+		return fmt.Errorf("joblog: write segment: %w", err)
+	}
+	s.activeBuf = s.activeBuf[:0]
+	return nil
+}
+
+// Sync makes every staged append durable: staged frames are written and
+// the active segment is fsynced. Only after Sync returns may the appended
+// jobs be acknowledged.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if s.active == nil && len(s.activeBuf) == 0 {
+		return nil
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	if err := s.step(StepAppendSync, s.segPath(s.activeIdx)); err != nil {
+		return err
+	}
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("joblog: sync segment: %w", err)
+	}
+	s.unsyncedAppends = 0
+	return nil
+}
+
+// sealLocked finalizes the active segment: flush, fsync, checksum, commit
+// to the manifest. The next append opens a fresh segment.
+func (s *Store) sealLocked() error {
+	if s.active == nil {
+		return nil
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	path := s.segPath(s.activeIdx)
+	if err := s.step(StepSealSync, path); err != nil {
+		return err
+	}
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("joblog: sync sealing segment: %w", err)
+	}
+	if err := s.active.Close(); err != nil {
+		return fmt.Errorf("joblog: close sealing segment: %w", err)
+	}
+	s.active = nil
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("joblog: checksum sealing segment: %w", err)
+	}
+	frames := 0
+	for off := 0; off < len(data); {
+		_, _, size := parseFrame(data[off:])
+		if size == 0 {
+			break
+		}
+		frames++
+		off += size
+	}
+	sum := sha256.Sum256(data)
+	s.man.Sealed = append(s.man.Sealed, segmentInfo{
+		File:   filepath.Base(path),
+		Frames: frames,
+		Bytes:  int64(len(data)),
+		SHA256: hex.EncodeToString(sum[:]),
+	})
+	s.sealedBytes += int64(len(data))
+	s.activeBytes = 0
+	return s.commitManifest(StepSealManifest)
+}
+
+// commitManifest writes the manifest via tmp + fsync + atomic rename (the
+// registry.go idiom). step, when non-empty, is the hook point name.
+func (s *Store) commitManifest(step string) error {
+	path := filepath.Join(s.dir, manifestName)
+	if step != "" {
+		if err := s.step(step, path); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(&s.man, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, tmpPrefix+manifestName)
+	if err := writeFileSync(tmp, data); err != nil {
+		return fmt.Errorf("joblog: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("joblog: commit manifest: %w", err)
+	}
+	syncDir(s.dir)
+	return nil
+}
+
+// Rotate seals the active segment now (if any), regardless of size.
+func (s *Store) Rotate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sealLocked()
+}
+
+// Close syncs and closes the store. The store remains reopenable; Close
+// does not seal the active segment.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return nil
+	}
+	if err := s.syncLocked(); err != nil {
+		return err
+	}
+	err := s.active.Close()
+	s.active = nil
+	s.activeBuf = s.activeBuf[:0]
+	return err
+}
+
+// Scan streams every unique record, in segment order, calling yield with
+// the record's sequence number until yield returns false. Physical
+// duplicate frames (replays, crash-interrupted compactions) are masked by
+// the dedup index: exactly one frame per job hash is yielded. Memory is
+// bounded by one segment.
+func (s *Store) Scan(yield func(seq uint64, rec *darshan.Record) bool) error {
+	s.mu.Lock()
+	// Flush staged frames so the scan covers them (no fsync needed — the
+	// scan reads through the page cache).
+	if err := s.flushLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	files := make([]string, 0, len(s.man.Sealed)+1)
+	for _, si := range s.man.Sealed {
+		files = append(files, filepath.Join(s.dir, segmentsDir, si.File))
+	}
+	if s.active != nil {
+		files = append(files, s.segPath(s.activeIdx))
+	}
+	s.mu.Unlock()
+
+	// yielded guards against byte-identical physical duplicates — a crashed
+	// compaction leaves the same (hash, seq) frame in both the old and new
+	// segment, and index[hash] == seq matches both copies.
+	yielded := make(map[uint64]struct{})
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("joblog: scan %s: %w", path, err)
+		}
+		off := 0
+		for off < len(data) {
+			res, payload, size := parseFrame(data[off:])
+			if res != frameOK {
+				// Post-recovery segments are clean; anything else here is
+				// concurrent external corruption. Stop at this segment.
+				break
+			}
+			seq, rec, err := decodePayload(payload)
+			if err != nil {
+				off += size
+				continue
+			}
+			h := payloadHash(payload)
+			s.mu.Lock()
+			first := s.index[h]
+			s.mu.Unlock()
+			if first == seq {
+				if _, dup := yielded[h]; !dup {
+					yielded[h] = struct{}{}
+					if !yield(seq, rec) {
+						return nil
+					}
+				}
+			}
+			off += size
+		}
+	}
+	return nil
+}
+
+// Cursor returns the durable retrain cursor: jobs with seq ≤ cursor are
+// incorporated in a committed model generation.
+func (s *Store) Cursor() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cursor
+}
+
+// Pending counts unique records past the cursor — the retrain backlog.
+func (s *Store) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pendingLocked()
+}
+
+func (s *Store) pendingLocked() int {
+	n := 0
+	for _, seq := range s.index {
+		if seq > s.cursor {
+			n++
+		}
+	}
+	return n
+}
+
+// AdvanceCursor durably moves the retrain cursor forward to seq (a lower
+// value is ignored). Call only after the model generation that consumed
+// those jobs has committed.
+func (s *Store) AdvanceCursor(seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq <= s.cursor {
+		return nil
+	}
+	path := filepath.Join(s.dir, cursorName)
+	if err := s.step(StepCursorCommit, path); err != nil {
+		return err
+	}
+	tmp := filepath.Join(s.dir, tmpPrefix+cursorName)
+	if err := writeFileSync(tmp, []byte(strconv.FormatUint(seq, 10)+"\n")); err != nil {
+		return fmt.Errorf("joblog: write cursor: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("joblog: commit cursor: %w", err)
+	}
+	syncDir(s.dir)
+	s.cursor = seq
+	return nil
+}
+
+// DrainPending streams the records past the cursor in mini-batches of at
+// most batch records. fn receives each batch and the highest sequence
+// number it contains; an error stops the drain. DrainPending does not
+// advance the cursor — the caller does, once the batch's consumer (a
+// model generation) has committed.
+func (s *Store) DrainPending(batch int, fn func(recs []*darshan.Record, maxSeq uint64) error) error {
+	if batch <= 0 {
+		batch = 512
+	}
+	cursor := s.Cursor()
+	var (
+		buf    []*darshan.Record
+		maxSeq uint64
+		fnErr  error
+	)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		err := fn(buf, maxSeq)
+		buf = buf[:0]
+		return err
+	}
+	err := s.Scan(func(seq uint64, rec *darshan.Record) bool {
+		if seq <= cursor {
+			return true
+		}
+		buf = append(buf, rec)
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+		if len(buf) >= batch {
+			if fnErr = flush(); fnErr != nil {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if fnErr != nil {
+		return fnErr
+	}
+	return flush()
+}
+
+// Stats is the operational snapshot surfaced on /healthz.
+type Stats struct {
+	Dir                string `json:"dir"`
+	SealedSegments     int    `json:"sealed_segments"`
+	ActiveBytes        int64  `json:"active_bytes"`
+	TotalBytes         int64  `json:"total_bytes"`
+	Records            int    `json:"records"`
+	DuplicateFrames    int    `json:"duplicate_frames,omitempty"`
+	Quarantined        int    `json:"quarantined"`
+	NextSeq            uint64 `json:"next_seq"`
+	Cursor             uint64 `json:"cursor"`
+	Pending            int    `json:"pending"`
+	Compactions        int    `json:"compactions"`
+	LastCompactionUnix int64  `json:"last_compaction_unix,omitempty"`
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Dir:                s.dir,
+		SealedSegments:     len(s.man.Sealed),
+		ActiveBytes:        s.activeBytes,
+		TotalBytes:         s.sealedBytes + s.activeBytes,
+		Records:            s.records,
+		DuplicateFrames:    s.dupFrames,
+		Quarantined:        s.quarantined,
+		NextSeq:            s.nextSeq,
+		Cursor:             s.cursor,
+		Pending:            s.pendingLocked(),
+		Compactions:        s.man.Compactions,
+		LastCompactionUnix: s.man.LastCompactionUnix,
+	}
+}
+
+// writeFileSync writes data to path and fsyncs before closing, so the
+// bytes are durable before any rename that references them.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-committed rename is durable. Best
+// effort: some filesystems refuse directory fsync, and a failure here only
+// widens the crash window rather than corrupting state.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

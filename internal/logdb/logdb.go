@@ -102,6 +102,25 @@ func Generate(cfg GenConfig) *darshan.Dataset {
 	return &darshan.Dataset{Records: records}
 }
 
+// GenerateStream produces the same records as Generate — job i is
+// identical under either API for a fixed config — but yields them one at a
+// time in index order instead of materializing the dataset. Memory stays
+// flat regardless of cfg.Jobs, which is what streaming ingest (aiio ingest,
+// joblog replay drills) needs. Return false from yield to stop early.
+func GenerateStream(cfg GenConfig, yield func(rec *darshan.Record) bool) {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = DefaultGenConfig().Jobs
+	}
+	if cfg.Params.OSTBandwidth == 0 {
+		cfg.Params = iosim.DefaultParams()
+	}
+	for i := 0; i < cfg.Jobs; i++ {
+		if !yield(generateJob(cfg, i)) {
+			return
+		}
+	}
+}
+
 // familyNames are the App identities of the mixture families.
 var familyNames = []string{
 	"ior-synth", "e2e-write3d", "openpmd-h5bench", "dassa-xcorr", "metadata-synth",

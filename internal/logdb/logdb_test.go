@@ -117,3 +117,31 @@ func BenchmarkGenerate100(b *testing.B) {
 		Generate(cfg)
 	}
 }
+
+func TestGenerateStreamMatchesGenerate(t *testing.T) {
+	cfg := GenConfig{Jobs: 120, Seed: 9}
+	ds := Generate(cfg)
+	i := 0
+	GenerateStream(cfg, func(rec *darshan.Record) bool {
+		if i >= len(ds.Records) {
+			t.Fatalf("stream yielded more than %d records", len(ds.Records))
+		}
+		if *rec != *ds.Records[i] {
+			t.Fatalf("record %d differs between Generate and GenerateStream", i)
+		}
+		i++
+		return true
+	})
+	if i != cfg.Jobs {
+		t.Fatalf("stream yielded %d records, want %d", i, cfg.Jobs)
+	}
+	// Early termination: yield false stops the stream.
+	n := 0
+	GenerateStream(cfg, func(rec *darshan.Record) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop after %d records, want 10", n)
+	}
+}

@@ -182,6 +182,35 @@ func (c *Client) DiagnoseBatchContext(ctx context.Context, recs []*darshan.Recor
 	return out, nil
 }
 
+// Ingest ships records into the server's durable job log and returns the
+// ingest accounting. Safe to retry: the server deduplicates by job hash,
+// so a resend after a lost acknowledgment reports duplicates, not errors.
+func (c *Client) Ingest(recs []*darshan.Record) (*IngestResponse, error) {
+	return c.IngestContext(context.Background(), recs)
+}
+
+// IngestContext is Ingest bounded by ctx. A 429 from the ingest admission
+// limit is retried after the server's Retry-After hint, like every post.
+func (c *Client) IngestContext(ctx context.Context, recs []*darshan.Record) (*IngestResponse, error) {
+	var body bytes.Buffer
+	if err := darshan.WriteDataset(&body, &darshan.Dataset{Records: recs}); err != nil {
+		return nil, err
+	}
+	resp, err := c.post(ctx, c.BaseURL+"/api/v1/jobs", "text/plain", body.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("webservice: ingest request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out IngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("webservice: decode ingest response: %w", err)
+	}
+	return &out, nil
+}
+
 // Models lists the registered models.
 func (c *Client) Models() ([]ModelInfo, error) {
 	return c.ModelsContext(context.Background())

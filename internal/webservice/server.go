@@ -21,6 +21,7 @@ import (
 	"github.com/hpc-repro/aiio/internal/admission"
 	"github.com/hpc-repro/aiio/internal/core"
 	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/joblog"
 	"github.com/hpc-repro/aiio/internal/tune"
 )
 
@@ -111,6 +112,25 @@ type Server struct {
 	// Store, when non-nil, persists each accepted model upload as a new
 	// registry generation, so a validated hot-swap survives a restart.
 	Store *core.Store
+	// JobLog, when non-nil, enables POST /api/v1/jobs: streaming job ingest
+	// into the durable WAL, deduplicated by job hash so client retries are
+	// idempotent. Set before the first request.
+	JobLog *joblog.Store
+	// RetrainThreshold, when > 0 with a JobLog and Retrainer wired in,
+	// triggers a background incremental retrain once the ingest backlog
+	// reaches this many jobs.
+	RetrainThreshold int
+	// Retrainer runs one incremental retraining cycle (typically
+	// core.RunIncremental against the JobLog and Store) and returns the
+	// freshly committed ensemble and its generation. Invoked single-flight
+	// from ingest; also reachable via TriggerRetrain.
+	Retrainer func(ctx context.Context) (*core.Ensemble, uint64, error)
+
+	// retrainBusy makes retraining single-flight: a trigger while one cycle
+	// is running is a no-op (the running cycle drains the same backlog).
+	retrainBusy atomic.Bool
+	// retrainState mirrors the last cycle's outcome for /healthz.
+	retrainState atomic.Pointer[retrainStatus]
 
 	// genReport mirrors the registry load report for /readyz (which
 	// generation is serving, whether it was a fallback); set with
@@ -188,6 +208,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/models", s.handleModels)
 	mux.HandleFunc("/api/v1/diagnose", s.admitted("diagnose", s.handleDiagnose))
 	mux.HandleFunc("/api/v1/diagnose/batch", s.admitted("batch", s.handleDiagnoseBatch))
+	mux.HandleFunc("/api/v1/jobs", s.admitted(IngestEndpoint, s.handleJobs))
 	return s.protect(mux)
 }
 
@@ -366,6 +387,28 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if c := s.diagnosisCache(); c != nil {
 		hits, misses, size := c.stats()
 		body["cache"] = map[string]any{"hits": hits, "misses": misses, "size": size}
+	}
+	if s.JobLog != nil {
+		st := s.JobLog.Stats()
+		body["joblog"] = map[string]any{
+			"sealed_segments":      st.SealedSegments,
+			"bytes":                st.TotalBytes,
+			"records":              st.Records,
+			"quarantined":          st.Quarantined,
+			"duplicate_frames":     st.DuplicateFrames,
+			"compactions":          st.Compactions,
+			"last_compaction_unix": st.LastCompactionUnix,
+			"pending_retrain":      st.Pending,
+		}
+		retrain := map[string]any{"busy": s.retrainBusy.Load()}
+		if rs := s.retrainState.Load(); rs != nil {
+			retrain["last_generation"] = rs.Generation
+			retrain["last_unix"] = rs.FinishedUnix
+			if rs.Err != "" {
+				retrain["last_error"] = rs.Err
+			}
+		}
+		body["retrain"] = retrain
 	}
 	writeJSON(w, http.StatusOK, body)
 }
