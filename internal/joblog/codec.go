@@ -1,10 +1,10 @@
 package joblog
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"hash/fnv"
 	"math"
 
 	"github.com/hpc-repro/aiio/internal/darshan"
@@ -19,9 +19,9 @@ import (
 //	           ncounters(u8 = 45) counter[45](f64)
 //
 // length counts the payload bytes only; crc is CRC-32C (Castagnoli) over
-// the payload. The job hash that makes appends idempotent is FNV-1a 64
-// over the payload with the seq field zeroed, so a client retry — same
-// job, new sequence number — hashes identically.
+// the payload. The job hash that makes appends idempotent is SHA-256
+// truncated to 128 bits over the payload with the seq field zeroed, so a
+// client retry — same job, new sequence number — hashes identically.
 
 const (
 	payloadMagic   = 0xA7
@@ -117,11 +117,19 @@ func decodePayload(p []byte) (seq uint64, rec *darshan.Record, err error) {
 	return seq, rec, nil
 }
 
-// payloadHash is the idempotency key of a payload: FNV-1a 64 with the seq
-// field zeroed, so the same job re-sent under a new sequence number (a
-// client retry after a lost ack) collides with the original.
-func payloadHash(p []byte) uint64 {
-	h := fnv.New64a()
+// hashKey is the idempotency key of a payload: SHA-256 truncated to 128
+// bits. A non-keyed 64-bit hash would make a collision — and therefore a
+// silently swallowed job — constructible; at 128 bits the birthday bound
+// for the paper's 6.6 M-job scale (~2^23 records) is ~2^-82, a residual
+// risk we accept and document rather than pay a payload comparison on
+// every duplicate hit.
+type hashKey [16]byte
+
+// payloadHash hashes a payload with the seq field zeroed, so the same job
+// re-sent under a new sequence number (a client retry after a lost ack)
+// collides with the original.
+func payloadHash(p []byte) hashKey {
+	h := sha256.New()
 	var zeros [8]byte
 	if len(p) >= seqOffset+8 {
 		h.Write(p[:seqOffset])
@@ -130,7 +138,9 @@ func payloadHash(p []byte) uint64 {
 	} else {
 		h.Write(p)
 	}
-	return h.Sum64()
+	var k hashKey
+	copy(k[:], h.Sum(nil))
+	return k
 }
 
 // appendFrame appends the framed payload (length, CRC-32C, payload) to dst.

@@ -2,6 +2,7 @@ package joblog
 
 import (
 	"bufio"
+	"bytes"
 	"container/heap"
 	"crypto/sha256"
 	"encoding/binary"
@@ -57,15 +58,19 @@ type CompactStats struct {
 
 // runRec is one frame staged for a chunk sort.
 type runRec struct {
-	hash  uint64
+	hash  hashKey
 	seq   uint64
 	frame []byte
 }
 
 // Compact rewrites the store as described above. It holds the store lock
-// for the duration: appends block until the compaction commits. Returns
+// for the duration: appends block until the compaction commits, and an
+// in-flight Scan (the compaction read-guard) blocks Compact from starting,
+// so cleanup never deletes a segment a scanner is still reading. Returns
 // the stats of the rewrite; a store with nothing sealed is a no-op.
 func (s *Store) Compact() (*CompactStats, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -99,8 +104,8 @@ func (s *Store) Compact() (*CompactStats, error) {
 			return nil
 		}
 		sort.Slice(chunk, func(i, j int) bool {
-			if chunk[i].hash != chunk[j].hash {
-				return chunk[i].hash < chunk[j].hash
+			if c := bytes.Compare(chunk[i].hash[:], chunk[j].hash[:]); c != 0 {
+				return c < 0
 			}
 			return chunk[i].seq < chunk[j].seq
 		})
@@ -201,7 +206,7 @@ func (s *Store) Compact() (*CompactStats, error) {
 
 	// (4) stream merged frames into fresh segments.
 	out := &compactWriter{s: s, segRoot: segRoot}
-	var lastHash uint64
+	var lastHash hashKey
 	haveLast := false
 	for h.Len() > 0 {
 		rc := h.items[0]
@@ -350,7 +355,7 @@ func (cw *compactWriter) finish() ([]segmentInfo, error) {
 // runCursor walks one run file frame by frame.
 type runCursor struct {
 	r     *bufio.Reader
-	hash  uint64
+	hash  hashKey
 	seq   uint64
 	frame []byte
 }
@@ -396,8 +401,8 @@ type runHeap struct {
 func (h *runHeap) Len() int { return len(h.items) }
 func (h *runHeap) Less(i, j int) bool {
 	a, b := h.items[i], h.items[j]
-	if a.hash != b.hash {
-		return a.hash < b.hash
+	if c := bytes.Compare(a.hash[:], b.hash[:]); c != 0 {
+		return c < 0
 	}
 	return a.seq < b.seq
 }

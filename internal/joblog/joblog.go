@@ -28,10 +28,12 @@
 // Compaction (compact.go) rewrites the sealed segments through a chunked
 // sort + k-way heap merge, dropping physical duplicates, in bounded
 // memory — the store operates on datasets larger than RAM. The in-memory
-// footprint that remains is the dedup index, ~16 bytes per unique job.
+// footprint that remains is the dedup index, ~24 bytes per unique job
+// (a 128-bit job hash plus its sequence number).
 package joblog
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -135,6 +137,12 @@ type Store struct {
 	// error — the fault-injection seam for crash drills. Tests only.
 	hook func(step, path string) error
 
+	// compactMu serializes Compact against in-flight Scans: Scan holds the
+	// read side while it walks segment files outside mu, so compaction
+	// cannot delete a superseded segment out from under it. Lock order is
+	// always compactMu before mu.
+	compactMu sync.RWMutex
+
 	mu          sync.Mutex
 	active      *os.File
 	activeBuf   []byte // frames appended but not yet flushed to the file
@@ -144,10 +152,11 @@ type Store struct {
 	nextSegIdx  uint64
 	nextSeq     uint64
 	cursor      uint64
-	index       map[uint64]uint64 // payload hash → first (lowest) seq
-	records     int               // unique records
-	dupFrames   int               // physical duplicate frames on disk
-	quarantined int               // lifetime quarantine entries
+	index       map[hashKey]uint64 // payload hash → first (lowest) seq
+	records     int                // unique records
+	pending     int                // unique records past the cursor
+	dupFrames   int                // physical duplicate frames on disk
+	quarantined int                // lifetime quarantine entries
 	sealedBytes     int64
 	unsyncedAppends int
 	recovery        RecoveryReport
@@ -166,7 +175,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		dir:     dir,
 		opts:    opts,
 		nextSeq: 1,
-		index:   make(map[uint64]uint64),
+		index:   make(map[hashKey]uint64),
 	}
 	for _, d := range []string{dir, filepath.Join(dir, segmentsDir), filepath.Join(dir, quarantineDir)} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
@@ -222,7 +231,9 @@ func segIndex(name string) (uint64, bool) {
 //     was interrupted
 //  4. scan every sealed segment; a checksum mismatch against the manifest
 //     demotes the segment to a record-by-record salvage (valid frames
-//     kept, corrupt ones quarantined, the file rewritten atomically)
+//     kept, corrupt ones quarantined, the file rewritten via truncate or
+//     tmp + fsync + rename so a crash mid-recovery never loses a frame
+//     that was durable before recovery started)
 //  5. segments > max(manifest index) are unsealed tails (a crash landed
 //     between rotation and its manifest commit, or mid-compaction):
 //     salvage-scan each, truncate the torn tail of the last, reseal all
@@ -319,7 +330,7 @@ func (s *Store) recover() error {
 		if err != nil {
 			return err
 		}
-		if err := writeFileSync(path, clean); err != nil {
+		if err := rewriteSegment(path, clean, data); err != nil {
 			return fmt.Errorf("joblog: rewrite salvaged segment %s: %w", si.File, err)
 		}
 		newSum := sha256.Sum256(clean)
@@ -343,7 +354,7 @@ func (s *Store) recover() error {
 			return err
 		}
 		if len(clean) != len(data) {
-			if err := writeFileSync(path, clean); err != nil {
+			if err := rewriteSegment(path, clean, data); err != nil {
 				return fmt.Errorf("joblog: truncate torn segment %s: %w", path, err)
 			}
 		}
@@ -385,6 +396,14 @@ func (s *Store) recover() error {
 			s.cursor = n
 		}
 	}
+	// Floor nextSeq at cursor+1: if the highest-seq frames were quarantined
+	// or lost to a torn tail after CURSOR advanced, a rebuilt nextSeq could
+	// regress below the durable cursor and new appends would be assigned
+	// seq ≤ cursor — stored but invisible to DrainPending forever.
+	if s.cursor+1 > s.nextSeq {
+		s.nextSeq = s.cursor + 1
+	}
+	s.recomputePendingLocked()
 	// The quarantine log already holds whatever salvage wrote this pass, so
 	// this is an assignment, not an addition.
 	s.quarantined = countQuarantine(filepath.Join(s.dir, quarantineDir, quarantineLog))
@@ -421,7 +440,7 @@ func (s *Store) indexFrames(data []byte, file string) error {
 }
 
 // noteFrame registers one on-disk frame with the dedup index.
-func (s *Store) noteFrame(hash, seq uint64) {
+func (s *Store) noteFrame(hash hashKey, seq uint64) {
 	if first, ok := s.index[hash]; ok {
 		if seq < first {
 			s.index[hash] = seq
@@ -539,7 +558,10 @@ func (s *Store) QuarantineNote(reason string) error {
 // Append stages one record in the active segment. The record is NOT
 // durable until Sync returns (or the SyncEvery policy fires); callers must
 // not acknowledge it before then. Appending a job whose hash is already
-// present is a no-op reported as Duplicate — retries are idempotent.
+// present is a no-op reported as Duplicate — retries are idempotent. The
+// hash is a 128-bit truncated SHA-256 (see hashKey in codec.go), so two
+// distinct jobs colliding — which would silently swallow the second — is
+// cryptographically negligible, not merely unlikely.
 func (s *Store) Append(rec *darshan.Record) (AppendResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -562,6 +584,7 @@ func (s *Store) Append(rec *darshan.Record) (AppendResult, error) {
 	s.nextSeq++
 	s.index[hash] = seq
 	s.records++
+	s.pending++ // seq == nextSeq > cursor always (recovery floors nextSeq)
 	s.activeBytes += int64(len(frame))
 	s.unsyncedAppends++
 	res := AppendResult{Seq: seq}
@@ -730,8 +753,13 @@ func (s *Store) Close() error {
 // the record's sequence number until yield returns false. Physical
 // duplicate frames (replays, crash-interrupted compactions) are masked by
 // the dedup index: exactly one frame per job hash is yielded. Memory is
-// bounded by one segment.
+// bounded by one segment. Scan holds the compaction read-guard for its
+// duration: a concurrent Compact blocks rather than deleting a superseded
+// segment out from under the walk (which would abort the scan mid-way —
+// e.g. a background incremental retrain racing `aiio joblog -compact`).
 func (s *Store) Scan(yield func(seq uint64, rec *darshan.Record) bool) error {
+	s.compactMu.RLock()
+	defer s.compactMu.RUnlock()
 	s.mu.Lock()
 	// Flush staged frames so the scan covers them (no fsync needed — the
 	// scan reads through the page cache).
@@ -751,7 +779,7 @@ func (s *Store) Scan(yield func(seq uint64, rec *darshan.Record) bool) error {
 	// yielded guards against byte-identical physical duplicates — a crashed
 	// compaction leaves the same (hash, seq) frame in both the old and new
 	// segment, and index[hash] == seq matches both copies.
-	yielded := make(map[uint64]struct{})
+	yielded := make(map[hashKey]struct{})
 	for _, path := range files {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -797,20 +825,27 @@ func (s *Store) Cursor() uint64 {
 }
 
 // Pending counts unique records past the cursor — the retrain backlog.
+// The count is maintained incrementally (bumped per append, recomputed
+// when the cursor moves), not scanned per call: Pending runs on every
+// ingest response and /healthz, and a full index walk under mu at the
+// 6.6 M-record scale would stall every concurrent append.
 func (s *Store) Pending() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.pendingLocked()
+	return s.pending
 }
 
-func (s *Store) pendingLocked() int {
+// recomputePendingLocked rebuilds the pending counter from the index —
+// called only when the cursor moves (recovery, AdvanceCursor), never on
+// the append or stats hot paths.
+func (s *Store) recomputePendingLocked() {
 	n := 0
 	for _, seq := range s.index {
 		if seq > s.cursor {
 			n++
 		}
 	}
-	return n
+	s.pending = n
 }
 
 // AdvanceCursor durably moves the retrain cursor forward to seq (a lower
@@ -835,6 +870,7 @@ func (s *Store) AdvanceCursor(seq uint64) error {
 	}
 	syncDir(s.dir)
 	s.cursor = seq
+	s.recomputePendingLocked()
 	return nil
 }
 
@@ -915,10 +951,47 @@ func (s *Store) Stats() Stats {
 		Quarantined:        s.quarantined,
 		NextSeq:            s.nextSeq,
 		Cursor:             s.cursor,
-		Pending:            s.pendingLocked(),
+		Pending:            s.pending,
 		Compactions:        s.man.Compactions,
 		LastCompactionUnix: s.man.LastCompactionUnix,
 	}
+}
+
+// rewriteSegment replaces a segment's contents with clean, given disk (its
+// current on-disk bytes), without ever passing through a state that is
+// missing previously durable frames — a crash at any instant leaves either
+// the old bytes or the clean bytes. For the pure torn-tail case (clean is
+// a prefix of disk) an in-place truncate suffices; otherwise the clean
+// bytes are written to a temp file, fsynced, and renamed over the segment
+// (the manifest idiom). A truncate-to-zero-then-write (os.Create) would
+// open a window where a crash loses every acknowledged frame in the
+// segment — exactly the crash-loop regime recovery runs in.
+func rewriteSegment(path string, clean, disk []byte) error {
+	if len(clean) <= len(disk) && bytes.Equal(clean, disk[:len(clean)]) {
+		f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		if err := f.Truncate(int64(len(clean))); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	dir := filepath.Dir(path)
+	tmp := filepath.Join(dir, tmpPrefix+filepath.Base(path))
+	if err := writeFileSync(tmp, clean); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
 }
 
 // writeFileSync writes data to path and fsyncs before closing, so the
