@@ -92,6 +92,10 @@ func main() {
 		"records per backlog drain mini-batch")
 	retrainFast := flag.Bool("retrain-fast", false,
 		"reduced training budgets for incremental retrains")
+	retrainWarm := flag.Bool("warm-start", true,
+		"seed incremental retrains from the previous generation on a reduced budget (per-model cold fallback on schema/drift)")
+	retrainWarmBudget := flag.Float64("warm-budget", core.DefaultWarmBudgetFrac,
+		"fraction of the cold budget warm-started models train for")
 	ingestInflight := flag.Int("ingest-inflight", 0,
 		"concurrent ingest requests (its own admission budget; 0 = the -max-inflight default)")
 	flag.Parse()
@@ -153,6 +157,8 @@ func main() {
 		ws.RetrainThreshold = *retrainAfter
 		topts := core.DefaultTrainOptions()
 		topts.Fast = *retrainFast
+		topts.WarmStart = *retrainWarm
+		topts.WarmBudgetFrac = *retrainWarmBudget
 		ws.Retrainer = func(ctx context.Context) (*core.Ensemble, uint64, error) {
 			rep, err := core.RunIncremental(ctx, jl, store, core.IncrementalOptions{
 				MiniBatch: *retrainMinibatch,

@@ -211,6 +211,8 @@ func cmdRetrain(args []string) error {
 	fast := fs.Bool("fast", false, "reduced training budgets")
 	seed := fs.Int64("seed", 1, "random seed")
 	models := fs.String("train-models", "", "comma-separated subset of models to train (default all)")
+	warm := fs.Bool("warm-start", true, "seed each model from the previous generation on a reduced budget (falls back to cold per model on schema/drift)")
+	warmBudget := fs.Float64("warm-budget", core.DefaultWarmBudgetFrac, "fraction of the cold budget warm-started models train for")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -222,6 +224,8 @@ func cmdRetrain(args []string) error {
 	topts := core.DefaultTrainOptions()
 	topts.Fast = *fast
 	topts.Seed = *seed
+	topts.WarmStart = *warm
+	topts.WarmBudgetFrac = *warmBudget
 	if *models != "" {
 		topts.Models = strings.Split(*models, ",")
 	}
@@ -236,9 +240,15 @@ func cmdRetrain(args []string) error {
 	}
 	rows := [][]string{}
 	for _, m := range rep.Train.Models {
-		rows = append(rows, []string{m.Name, fmt.Sprintf("%.4f", m.PredictionRMSE)})
+		fit := "cold"
+		if m.WarmStart {
+			fit = "warm"
+		} else if m.WarmFallback != "" {
+			fit = "cold (" + m.WarmFallback + ")"
+		}
+		rows = append(rows, []string{m.Name, fmt.Sprintf("%.4f", m.PredictionRMSE), fit})
 	}
-	report.Table(os.Stdout, []string{"Model", "Eval RMSE"}, rows)
+	report.Table(os.Stdout, []string{"Model", "Eval RMSE", "Fit"}, rows)
 	fmt.Printf("retrained on %d new + %d window jobs -> %s generation %d (cursor %d)\n",
 		rep.NewRecords, rep.WindowRecords, *modelsDir, rep.Generation, rep.MaxSeq)
 	return nil

@@ -125,6 +125,16 @@ func RunIncremental(ctx context.Context, jl JobBacklog, store *Store, opts Incre
 		return nil, ErrNoNewJobs
 	}
 
+	// Warm starting against the store: seed each model from the previous
+	// generation so the reduced budget only has to absorb the new window.
+	// A store with no loadable generation (first run, or every generation
+	// corrupt) degrades to a cold start rather than failing the cycle.
+	if opts.Train.WarmStart && opts.Train.WarmFrom == nil && store != nil {
+		if prev, _, err := store.Load(); err == nil {
+			opts.Train.WarmFrom = prev
+		}
+	}
+
 	cursor := jl.Cursor()
 
 	// Reservoir-sample the incorporated history into the window. The rng is

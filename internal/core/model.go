@@ -111,6 +111,26 @@ func TreeModel(m Model) (*gbdt.Model, bool) {
 	return g.m, true
 }
 
+// MLPModel exposes the underlying network of an MLP-backed model for the
+// warm-start path; ok is false for other families.
+func MLPModel(m Model) (*mlp.Model, bool) {
+	n, isMLP := m.(*mlpModel)
+	if !isMLP {
+		return nil, false
+	}
+	return n.m, true
+}
+
+// TabNetModel exposes the underlying network of a TabNet-backed model for
+// the warm-start path; ok is false for other families.
+func TabNetModel(m Model) (*tabnet.Model, bool) {
+	n, isTabNet := m.(*tabnetModel)
+	if !isTabNet {
+		return nil, false
+	}
+	return n.m, true
+}
+
 // GBDTLossCurves exposes the training/eval RMSE curves of a boosted model
 // (used by the Fig. 16 reproduction); ok is false for non-GBDT models.
 func GBDTLossCurves(m Model) (train, eval []float64, ok bool) {

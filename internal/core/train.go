@@ -44,7 +44,31 @@ type TrainOptions struct {
 	// GBDTRounds / NNEpochs override the budgets when > 0.
 	GBDTRounds int
 	NNEpochs   int
+	// ReferenceKernels routes the net families' training through the
+	// original per-row scalar loops instead of the vectorized kernel path
+	// (the equivalence mode mirroring gbdt's DisableHistSubtraction) — for
+	// parity tests and as the before-side baseline in training benchmarks.
+	ReferenceKernels bool
+	// WarmStart seeds each model from its counterpart in WarmFrom (the
+	// previous generation) on a WarmBudgetFrac-scaled budget, per family:
+	// gbdt continues boosting from the prior trees, mlp/tabnet start from
+	// the prior tensors. A model whose family-level CanWarmStart gate
+	// rejects the seed (schema change, architecture change, input or
+	// bin-edge drift) falls back to a full-budget cold fit; the per-model
+	// report records the decision.
+	WarmStart bool
+	// WarmFrom is the previous ensemble to warm from; nil disables warm
+	// starting even when WarmStart is set.
+	WarmFrom *Ensemble
+	// WarmBudgetFrac scales the rounds/epochs budget of warm-started
+	// models; <= 0 means DefaultWarmBudgetFrac.
+	WarmBudgetFrac float64
 }
+
+// DefaultWarmBudgetFrac is the fraction of the cold budget a warm-started
+// model trains for: the seed already encodes the stable structure, so the
+// reduced run only has to absorb the new window.
+const DefaultWarmBudgetFrac = 0.3
 
 // DefaultTrainOptions returns the paper configuration.
 func DefaultTrainOptions() TrainOptions {
@@ -57,6 +81,12 @@ type ModelReport struct {
 	Name string
 	// RMSE of the prediction function on the eval split (Eq. 3).
 	PredictionRMSE float64
+	// WarmStart reports whether this model was seeded from the previous
+	// generation (and trained on the reduced budget).
+	WarmStart bool
+	// WarmFallback is the reason a requested warm start was refused for
+	// this model ("" when warm started or never requested).
+	WarmFallback string
 }
 
 // TrainReport summarizes ensemble training.
@@ -123,6 +153,31 @@ func TrainEnsembleContext(ctx context.Context, frame *features.Frame, opts Train
 		nnEpochs = opts.NNEpochs
 	}
 
+	warmFrac := opts.WarmBudgetFrac
+	if warmFrac <= 0 {
+		warmFrac = DefaultWarmBudgetFrac
+	}
+	// scaleBudget is the reduced budget of a warm-started model.
+	scaleBudget := func(budget int) int {
+		b := int(float64(budget)*warmFrac + 0.5)
+		if b < 1 {
+			b = 1
+		}
+		return b
+	}
+	// prior returns the previous generation's model of this name when warm
+	// starting is requested, plus the fallback reason when there is none.
+	prior := func(name string) (Model, string) {
+		if !opts.WarmStart || opts.WarmFrom == nil {
+			return nil, ""
+		}
+		pm := opts.WarmFrom.Model(name)
+		if pm == nil {
+			return nil, "no previous model of this name"
+		}
+		return pm, ""
+	}
+
 	ens := &Ensemble{}
 	report := &TrainReport{TrainSize: train.Len(), EvalSize: eval.Len()}
 
@@ -131,6 +186,8 @@ func TrainEnsembleContext(ctx context.Context, frame *features.Frame, opts Train
 			return nil, nil, fmt.Errorf("core: training cancelled before %s: %w", name, err)
 		}
 		var model Model
+		warmUsed := false
+		warmFallback := ""
 		switch name {
 		case NameXGBoost, NameLightGBM, NameCatBoost:
 			variant := gbdt.LevelWise
@@ -142,7 +199,29 @@ func TrainEnsembleContext(ctx context.Context, frame *features.Frame, opts Train
 			cfg := gbdt.DefaultConfig(variant)
 			cfg.Rounds = gbdtRounds
 			cfg.Seed = opts.Seed
-			m, err := gbdt.Train(cfg, train.X, train.Y, eval.X, eval.Y)
+			var seed *gbdt.WarmSeed
+			if pm, why := prior(name); pm != nil {
+				if g, ok := TreeModel(pm); ok {
+					var reason string
+					if seed, reason = gbdt.CheckWarmStart(g, cfg, train.X, train.Y); seed != nil {
+						cfg.Rounds = scaleBudget(gbdtRounds)
+					} else {
+						warmFallback = reason
+					}
+				} else {
+					warmFallback = "previous model is a different family"
+				}
+			} else {
+				warmFallback = why
+			}
+			var m *gbdt.Model
+			var err error
+			if seed != nil {
+				warmUsed = true
+				m, err = gbdt.TrainSeeded(cfg, train.X, train.Y, eval.X, eval.Y, seed)
+			} else {
+				m, err = gbdt.Train(cfg, train.X, train.Y, eval.X, eval.Y)
+			}
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: train %s: %w", name, err)
 			}
@@ -151,10 +230,33 @@ func TrainEnsembleContext(ctx context.Context, frame *features.Frame, opts Train
 			cfg := mlp.DefaultConfig()
 			cfg.Epochs = nnEpochs
 			cfg.Seed = opts.Seed
+			cfg.ReferenceKernels = opts.ReferenceKernels
 			if opts.Fast {
 				cfg.Hidden = []int{45, 24, 12}
 			}
-			m, err := mlp.Train(cfg, train.X, train.Y, eval.X, eval.Y)
+			var prev *mlp.Model
+			if pm, why := prior(name); pm != nil {
+				if n, ok := MLPModel(pm); ok {
+					if canWarm, reason := mlp.CanWarmStart(n, cfg, train.X, train.Y); canWarm {
+						prev = n
+						cfg.Epochs = scaleBudget(nnEpochs)
+					} else {
+						warmFallback = reason
+					}
+				} else {
+					warmFallback = "previous model is a different family"
+				}
+			} else {
+				warmFallback = why
+			}
+			var m *mlp.Model
+			var err error
+			if prev != nil {
+				warmUsed = true
+				m, err = mlp.TrainWarm(cfg, train.X, train.Y, eval.X, eval.Y, prev)
+			} else {
+				m, err = mlp.Train(cfg, train.X, train.Y, eval.X, eval.Y)
+			}
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: train %s: %w", name, err)
 			}
@@ -164,7 +266,30 @@ func TrainEnsembleContext(ctx context.Context, frame *features.Frame, opts Train
 			cfg := tabnet.DefaultConfig()
 			cfg.Epochs = nnEpochs
 			cfg.Seed = opts.Seed
-			m, err := tabnet.Train(cfg, train.X, train.Y, eval.X, eval.Y)
+			cfg.ReferenceKernels = opts.ReferenceKernels
+			var prev *tabnet.Model
+			if pm, why := prior(name); pm != nil {
+				if n, ok := TabNetModel(pm); ok {
+					if canWarm, reason := tabnet.CanWarmStart(n, cfg, train.X, train.Y); canWarm {
+						prev = n
+						cfg.Epochs = scaleBudget(nnEpochs)
+					} else {
+						warmFallback = reason
+					}
+				} else {
+					warmFallback = "previous model is a different family"
+				}
+			} else {
+				warmFallback = why
+			}
+			var m *tabnet.Model
+			var err error
+			if prev != nil {
+				warmUsed = true
+				m, err = tabnet.TrainWarm(cfg, train.X, train.Y, eval.X, eval.Y, prev)
+			} else {
+				m, err = tabnet.Train(cfg, train.X, train.Y, eval.X, eval.Y)
+			}
 			if err != nil {
 				return nil, nil, fmt.Errorf("core: train %s: %w", name, err)
 			}
@@ -177,6 +302,8 @@ func TrainEnsembleContext(ctx context.Context, frame *features.Frame, opts Train
 		report.Models = append(report.Models, ModelReport{
 			Name:           name,
 			PredictionRMSE: features.RMSE(model.PredictBatch(eval.X), eval.Y),
+			WarmStart:      warmUsed,
+			WarmFallback:   warmFallback,
 		})
 	}
 	return ens, report, nil

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"github.com/hpc-repro/aiio/internal/linalg"
 	"github.com/hpc-repro/aiio/internal/parallel"
@@ -180,12 +179,54 @@ type trainer struct {
 	// Per-tree sampling state.
 	idx      []int32 // sample indices the current tree trains on
 	features []int   // feature subset for the current tree
+	order    []int32 // GOSS selection scratch (row permutation)
+	topMark  []bool  // GOSS scratch: row is in the top-gradient set
+
+	// histPool recycles node histograms across nodes and trees; with the
+	// paper's 86-feature schema each one is a multi-KB slab, and without the
+	// pool every expanded node allocates two.
+	histPool []*histogram
+	// splitScratch is bestSplit's per-feature candidate buffer, reused
+	// across nodes (parallelFor writes disjoint slots, so no aliasing).
+	splitScratch []splitCandidate
 }
 
 // Train fits a boosted ensemble on x/y. evalX/evalY form the held-out set
 // used for early stopping and the eval-loss curve; they may be nil to train
 // for the full round budget.
 func Train(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, evalY []float64) (*Model, error) {
+	return train(cfg, x, y, evalX, evalY, nil, nil)
+}
+
+// TrainWarm fits like Train but continues boosting from prev's ensemble:
+// the new model starts from prev's base score and trees (shared by pointer —
+// trees are immutable once built) and cfg.Rounds adds new trees on top, so
+// incremental retraining can run on a reduced round budget. Trees split on
+// raw thresholds, so prior trees remain exact on the re-binned new data;
+// only the new trees use the freshly fit bins. When an eval set is given,
+// the seed ensemble's eval RMSE is the early-stopping baseline, so a warm
+// run that never improves on its seed ships the seed trees unchanged
+// (BestIteration then points at the last prior tree). When CanWarmStart
+// rejects prev it falls back to a cold start.
+func TrainWarm(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, evalY []float64, prev *Model) (*Model, error) {
+	seed, _ := CheckWarmStart(prev, cfg, x, y)
+	return TrainSeeded(cfg, x, y, evalX, evalY, seed)
+}
+
+// TrainSeeded is TrainWarm for callers that already hold a CheckWarmStart
+// seed (e.g. the ensemble trainer, which checks first to record the
+// fallback reason): it continues boosting from the seed without re-running
+// the validation or refitting the bins, and cold-starts when seed is nil.
+func TrainSeeded(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, evalY []float64, seed *WarmSeed) (*Model, error) {
+	if seed == nil {
+		return train(cfg, x, y, evalX, evalY, nil, nil)
+	}
+	return train(cfg, x, y, evalX, evalY, seed.prev, seed.bins)
+}
+
+// train fits the ensemble; prev non-nil continues boosting from it, and a
+// non-nil bins (fit on this same x by CheckWarmStart) skips the refit.
+func train(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, evalY []float64, prev *Model, bins *BinMapper) (*Model, error) {
 	if x.Rows != len(y) {
 		panic(fmt.Sprintf("gbdt: %d rows vs %d targets", x.Rows, len(y)))
 	}
@@ -202,7 +243,9 @@ func Train(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, eval
 		cfg.MaxBins = MaxBins
 	}
 
-	bins := FitBins(x, cfg.MaxBins)
+	if bins == nil {
+		bins = FitBins(x, cfg.MaxBins)
+	}
 	tr := &trainer{
 		cfg:   cfg,
 		bins:  bins,
@@ -224,8 +267,17 @@ func Train(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, eval
 		Base:   linalg.Mean(y),
 		Gain:   make([]float64, x.Cols),
 	}
-	for i := range tr.pred {
-		tr.pred[i] = m.Base
+	if prev != nil {
+		// Continue boosting: prior trees predict via their raw thresholds,
+		// so the running predictions seed from the full prior ensemble.
+		m.Base = prev.Base
+		m.Trees = append(make([]*Tree, 0, len(prev.Trees)+cfg.Rounds), prev.Trees...)
+		copy(m.Gain, prev.Gain)
+		prev.PredictBatchInto(x, tr.pred)
+	} else {
+		for i := range tr.pred {
+			tr.pred[i] = m.Base
+		}
 	}
 
 	var evalPred []float64
@@ -236,14 +288,22 @@ func Train(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, eval
 		}
 		evalCols = bins.BinMatrix(evalX)
 		evalPred = make([]float64, evalX.Rows)
-		for i := range evalPred {
-			evalPred[i] = m.Base
+		if prev != nil {
+			prev.PredictBatchInto(evalX, evalPred)
+		} else {
+			for i := range evalPred {
+				evalPred[i] = m.Base
+			}
 		}
 	}
 
+	nPrev := len(m.Trees)
 	bestEval := math.Inf(1)
-	bestIter := 0
+	bestIter := nPrev - 1 // cold: -1, immediately beaten by round 0
 	sinceBest := 0
+	if prev != nil && evalPred != nil {
+		bestEval = rmse(evalPred, evalY)
+	}
 
 	for round := 0; round < cfg.Rounds; round++ {
 		// Squared loss: gradient = residual, hessian = 1.
@@ -275,7 +335,7 @@ func Train(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, eval
 			m.EvalLoss = append(m.EvalLoss, e)
 			if e < bestEval-1e-12 {
 				bestEval = e
-				bestIter = round
+				bestIter = nPrev + round
 				sinceBest = 0
 			} else {
 				sinceBest++
@@ -284,7 +344,7 @@ func Train(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, eval
 				}
 			}
 		} else {
-			bestIter = round
+			bestIter = nPrev + round
 		}
 	}
 
@@ -315,20 +375,36 @@ func (tr *trainer) sampleRows() {
 		if topN < 1 {
 			topN = 1
 		}
-		order := make([]int32, n)
+		// Select the topN largest |grad| by partial quickselect — O(n)
+		// instead of the former full sort — into trainer scratch, then
+		// mark-and-sweep rows in ascending index order. The selected set is
+		// identical to the sorted version (the order is total: |grad|
+		// descending, ties by ascending index), but the remainder is now
+		// sampled in index order rather than gradient order, so the rng
+		// stream differs from pre-quickselect builds at equal seeds.
+		if cap(tr.order) < n {
+			tr.order = make([]int32, n)
+			tr.topMark = make([]bool, n)
+		}
+		order, mark := tr.order[:n], tr.topMark[:n]
 		for i := range order {
 			order[i] = int32(i)
 		}
-		// Select the topN largest |grad| (full sort is fine at our scales).
-		absG := tr.grad
-		sortByAbsGradDesc(order, absG)
-		tr.idx = append(tr.idx, order[:topN]...)
+		selectTopAbsGrad(order, tr.grad, topN)
+		for i := range mark {
+			mark[i] = false
+		}
+		for _, i := range order[:topN] {
+			mark[i] = true
+		}
 		amplify := (1 - tr.cfg.GOSSTopRate) / tr.cfg.GOSSOtherRate
-		for _, i := range order[topN:] {
-			if tr.rng.Float64() < tr.cfg.GOSSOtherRate {
+		for i := 0; i < n; i++ {
+			if mark[i] {
+				tr.idx = append(tr.idx, int32(i))
+			} else if tr.rng.Float64() < tr.cfg.GOSSOtherRate {
 				tr.grad[i] *= amplify
 				tr.hess[i] *= amplify
-				tr.idx = append(tr.idx, i)
+				tr.idx = append(tr.idx, int32(i))
 			}
 		}
 	case tr.cfg.Subsample > 0 && tr.cfg.Subsample < 1:
@@ -347,11 +423,82 @@ func (tr *trainer) sampleRows() {
 	}
 }
 
-// sortByAbsGradDesc sorts indices by |grad| descending.
-func sortByAbsGradDesc(order []int32, grad []float64) {
-	sort.Slice(order, func(i, j int) bool {
-		return math.Abs(grad[order[i]]) > math.Abs(grad[order[j]])
-	})
+// gossBefore is the GOSS selection order: |grad| descending with ties
+// broken by ascending index. Indices are distinct, so the order is total
+// and the selected top-k set is unique regardless of pivot choices.
+func gossBefore(grad []float64, a, b int32) bool {
+	ga, gb := math.Abs(grad[a]), math.Abs(grad[b])
+	if ga != gb {
+		return ga > gb
+	}
+	return a < b
+}
+
+// selectTopAbsGrad partially reorders order in place so order[:k] holds the
+// k first rows under gossBefore (internal order unspecified). Iterative
+// median-of-three quickselect with an insertion-sorted base case: expected
+// O(n), no allocation — replacing the former full sort.Slice, whose closure
+// compares and O(n log n) passes dominated GOSS tree setup.
+func selectTopAbsGrad(order []int32, grad []float64, k int) {
+	if k <= 0 || k >= len(order) {
+		return
+	}
+	lo, hi := 0, len(order)
+	for hi-lo > 16 {
+		mid := lo + (hi-lo)/2
+		a, b, c := order[lo], order[mid], order[hi-1]
+		var pv int32
+		if gossBefore(grad, a, b) {
+			switch {
+			case gossBefore(grad, b, c):
+				pv = b
+			case gossBefore(grad, a, c):
+				pv = c
+			default:
+				pv = a
+			}
+		} else {
+			switch {
+			case gossBefore(grad, a, c):
+				pv = a
+			case gossBefore(grad, b, c):
+				pv = c
+			default:
+				pv = b
+			}
+		}
+		i, j := lo, hi-1
+		for i <= j {
+			for gossBefore(grad, order[i], pv) {
+				i++
+			}
+			for gossBefore(grad, pv, order[j]) {
+				j--
+			}
+			if i <= j {
+				order[i], order[j] = order[j], order[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j + 1
+		case k >= i:
+			lo = i
+		default:
+			return // boundary landed on the pivot slot
+		}
+	}
+	for x := lo + 1; x < hi; x++ {
+		o := order[x]
+		y := x
+		for y > lo && gossBefore(grad, o, order[y-1]) {
+			order[y] = order[y-1]
+			y--
+		}
+		order[y] = o
+	}
 }
 
 // sampleFeatures picks the feature subset for the current tree.
@@ -381,25 +528,50 @@ type histogram struct {
 	nBins []int
 }
 
+// newHistogram returns a histogram shaped for the current tree's feature
+// subset, reusing a pooled slab when one is available. The data slab is NOT
+// zeroed on reuse: every consumer either accumulates via buildHist (which
+// zeroes first) or overwrites every element via subtractHist.
 func (tr *trainer) newHistogram() *histogram {
-	h := &histogram{nBins: make([]int, len(tr.features)), base: make([]int, len(tr.features))}
+	var h *histogram
+	if n := len(tr.histPool); n > 0 {
+		h = tr.histPool[n-1]
+		tr.histPool = tr.histPool[:n-1]
+	} else {
+		h = &histogram{}
+	}
+	nf := len(tr.features)
+	if cap(h.nBins) < nf {
+		h.nBins = make([]int, nf)
+		h.base = make([]int, nf)
+	}
+	h.nBins = h.nBins[:nf]
+	h.base = h.base[:nf]
 	total := 0
 	for s, f := range tr.features {
 		h.base[s] = total
 		h.nBins[s] = tr.nBins[f]
 		total += tr.nBins[f]
 	}
-	h.data = make([]float64, 2*total)
+	if cap(h.data) < 2*total {
+		h.data = make([]float64, 2*total)
+	}
+	h.data = h.data[:2*total]
 	return h
+}
+
+// freeHist returns h (nil is fine) to the pool; h must not be used after.
+func (tr *trainer) freeHist(h *histogram) {
+	if h != nil {
+		tr.histPool = append(tr.histPool, h)
+	}
 }
 
 // subtractHist computes dst = parent − sibling element-wise (the
 // histogram-subtraction trick: a child's histogram is its parent's minus
 // its sibling's, so only the smaller child needs a fresh accumulation).
 func subtractHist(dst, parent, sibling *histogram) {
-	for i := range dst.data {
-		dst.data[i] = parent.data[i] - sibling.data[i]
-	}
+	linalg.ESub(dst.data, parent.data, sibling.data)
 }
 
 // childHists produces the two child histograms of a split at mid, building
@@ -473,7 +645,10 @@ func (tr *trainer) score(g, h float64) float64 {
 func (tr *trainer) bestSplit(h *histogram, sumG, sumH float64) splitCandidate {
 	best := splitCandidate{gain: 0, sumG: sumG, sumH: sumH}
 	parent := tr.score(sumG, sumH)
-	results := make([]splitCandidate, len(tr.features))
+	if cap(tr.splitScratch) < len(tr.features) {
+		tr.splitScratch = make([]splitCandidate, len(tr.features))
+	}
+	results := tr.splitScratch[:len(tr.features)]
 	parallelFor(len(tr.features), func(slo, shi int) {
 		for s := slo; s < shi; s++ {
 			local := splitCandidate{sumG: sumG, sumH: sumH}
@@ -482,8 +657,17 @@ func (tr *trainer) bestSplit(h *histogram, sumG, sumH float64) splitCandidate {
 			// A split "at bin b" sends bins <= b left; the last bin cannot
 			// be a split point.
 			for b := 0; b < h.nBins[s]-1; b++ {
-				gl += h.data[base+2*b]
-				hl += h.data[base+2*b+1]
+				g, hw := h.data[base+2*b], h.data[base+2*b+1]
+				// An empty bin leaves the prefix sums unchanged, so its
+				// candidate has exactly the previous bin's gain and the
+				// strict > below would ignore it anyway. With far fewer
+				// node samples than (feature, bin) cells, most bins are
+				// empty, and skipping them skips most of the scoring.
+				if g == 0 && hw == 0 {
+					continue
+				}
+				gl += g
+				hl += hw
 				gr := sumG - gl
 				hr := sumH - hl
 				if hl < tr.cfg.MinChildWeight || hr < tr.cfg.MinChildWeight {
@@ -570,15 +754,18 @@ func (tr *trainer) buildLevelWise(m *Model) *Tree {
 		task := queue[0]
 		queue = queue[1:]
 		if task.depth >= tr.cfg.MaxDepth || task.hi-task.lo < 2 || task.hist == nil {
+			tr.freeHist(task.hist)
 			continue
 		}
 		cand := tr.bestSplit(task.hist, task.sumG, task.sumH)
 		if !cand.valid {
+			tr.freeHist(task.hist)
 			continue
 		}
 		f := tr.features[cand.slot]
 		mid := tr.partition(task.lo, task.hi, f, cand.bin)
 		if mid == task.lo || mid == task.hi {
+			tr.freeHist(task.hist)
 			continue
 		}
 		m.Gain[f] += cand.gain
@@ -591,6 +778,7 @@ func (tr *trainer) buildLevelWise(m *Model) *Tree {
 		if task.depth+1 < tr.cfg.MaxDepth {
 			lh, rh = tr.childHists(task.hist, task.lo, mid, task.hi)
 		}
+		tr.freeHist(task.hist)
 		queue = append(queue,
 			levelTask{node: left, lo: task.lo, hi: mid, sumG: cand.gl, sumH: cand.hl, depth: task.depth + 1, hist: lh},
 			levelTask{node: right, lo: mid, hi: task.hi, sumG: cand.gr, sumH: cand.hr, depth: task.depth + 1, hist: rh},
@@ -627,6 +815,7 @@ func (tr *trainer) buildLeafWise(m *Model) *Tree {
 
 	evaluate := func(task levelTask) leafHeapItem {
 		if task.hi-task.lo < 2 || task.hist == nil {
+			tr.freeHist(task.hist)
 			task.hist = nil
 			return leafHeapItem{task: task}
 		}
@@ -641,12 +830,14 @@ func (tr *trainer) buildLeafWise(m *Model) *Tree {
 	for leaves < tr.cfg.MaxLeaves && pq.Len() > 0 {
 		item := heap.Pop(pq).(leafHeapItem)
 		if !item.cand.valid {
+			tr.freeHist(item.task.hist)
 			continue
 		}
 		task := item.task
 		f := tr.features[item.cand.slot]
 		mid := tr.partition(task.lo, task.hi, f, item.cand.bin)
 		if mid == task.lo || mid == task.hi {
+			tr.freeHist(task.hist)
 			continue
 		}
 		m.Gain[f] += item.cand.gain
@@ -657,8 +848,14 @@ func (tr *trainer) buildLeafWise(m *Model) *Tree {
 		t.Right[task.node] = right
 		leaves++
 		lh, rh := tr.childHists(task.hist, task.lo, mid, task.hi)
+		tr.freeHist(task.hist)
 		heap.Push(pq, evaluate(levelTask{node: left, lo: task.lo, hi: mid, sumG: item.cand.gl, sumH: item.cand.hl, depth: task.depth + 1, hist: lh}))
 		heap.Push(pq, evaluate(levelTask{node: right, lo: mid, hi: task.hi, sumG: item.cand.gr, sumH: item.cand.hr, depth: task.depth + 1, hist: rh}))
+	}
+	// Leaves never expanded still hold live histograms; recycle them for the
+	// next tree.
+	for _, it := range *pq {
+		tr.freeHist(it.task.hist)
 	}
 	return t
 }
@@ -756,5 +953,6 @@ func (tr *trainer) buildOblivious(m *Model) *Tree {
 			break
 		}
 	}
+	tr.freeHist(hist)
 	return t
 }

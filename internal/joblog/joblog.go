@@ -19,7 +19,10 @@
 //
 // Records are framed as length + CRC-32C + payload (codec.go). The
 // durability contract: a job is acknowledged only after Sync returns, and
-// every acknowledged job survives any crash exactly once. Recovery
+// every acknowledged job survives any crash exactly once. Concurrent Sync
+// calls group-commit (leader/follower fsync coalescing), so parallel
+// ingest streams share one disk flush per batch without weakening the
+// ack-after-fsync ordering. Recovery
 // truncates a torn tail (an incomplete or unframeable trailing write),
 // quarantines checksum-failing records that are still cleanly framed, and
 // deduplicates replayed appends by job hash, so client retries after a
@@ -157,10 +160,23 @@ type Store struct {
 	pending     int                // unique records past the cursor
 	dupFrames   int                // physical duplicate frames on disk
 	quarantined int                // lifetime quarantine entries
-	sealedBytes     int64
-	unsyncedAppends int
-	recovery        RecoveryReport
-	encBuf          []byte
+	sealedBytes int64
+	recovery    RecoveryReport
+	encBuf      []byte
+
+	// Group commit. Every staged append gets the next appendSeq; durableSeq
+	// is the highest appendSeq known fsynced. A Sync caller whose target is
+	// already ≤ durableSeq returns immediately; otherwise one caller becomes
+	// the leader — it flushes the staged frames, notes the covered appendSeq,
+	// drops mu for the fsync itself, then publishes durableSeq and broadcasts
+	// syncDone. Callers that arrive while a leader's fsync is in flight wait
+	// on syncDone: one disk flush acknowledges every append staged before it
+	// (leader/follower group commit), so N concurrent ingest streams cost
+	// ~1 fsync per coalesced batch instead of N.
+	appendSeq    uint64
+	durableSeq   uint64
+	syncInFlight bool
+	syncDone     *sync.Cond // signaled when a leader's fsync completes (ok or not)
 }
 
 // Open opens (creating if needed) the store at dir, running recovery:
@@ -177,6 +193,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		nextSeq: 1,
 		index:   make(map[hashKey]uint64),
 	}
+	s.syncDone = sync.NewCond(&s.mu)
 	for _, d := range []string{dir, filepath.Join(dir, segmentsDir), filepath.Join(dir, quarantineDir)} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("joblog: create %s: %w", d, err)
@@ -586,9 +603,9 @@ func (s *Store) Append(rec *darshan.Record) (AppendResult, error) {
 	s.records++
 	s.pending++ // seq == nextSeq > cursor always (recovery floors nextSeq)
 	s.activeBytes += int64(len(frame))
-	s.unsyncedAppends++
+	s.appendSeq++
 	res := AppendResult{Seq: seq}
-	if s.opts.SyncEvery > 0 && s.unsyncedAppends >= s.opts.SyncEvery {
+	if s.opts.SyncEvery > 0 && s.appendSeq-s.durableSeq >= uint64(s.opts.SyncEvery) {
 		if err := s.syncLocked(); err != nil {
 			return res, err
 		}
@@ -633,6 +650,14 @@ func (s *Store) flushLocked() error {
 // Sync makes every staged append durable: staged frames are written and
 // the active segment is fsynced. Only after Sync returns may the appended
 // jobs be acknowledged.
+//
+// Concurrent Sync calls group-commit: the first caller past the durable
+// watermark becomes the fsync leader and releases the store lock for the
+// disk flush itself; callers arriving during that flush park as followers
+// and are acknowledged by the same fsync when it covers their appends.
+// Appends staged after the leader flushed are NOT covered — such a
+// follower re-runs as the next leader — so the contract is exact: Sync
+// never returns nil unless every append staged before the call is on disk.
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -640,25 +665,70 @@ func (s *Store) Sync() error {
 }
 
 func (s *Store) syncLocked() error {
+	target := s.appendSeq
+	for s.durableSeq < target {
+		if s.syncInFlight {
+			// Follower: a leader's fsync is in flight. It may cover target
+			// (we parked after its flush) or not (we staged after its flush,
+			// or it failed) — re-check on wake and retry as leader if needed.
+			s.syncDone.Wait()
+			continue
+		}
+		if err := s.leadSyncLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// leadSyncLocked runs one group commit as the leader: flush the staged
+// frames, record the appendSeq the flush covers, fsync with mu released,
+// then publish the new durable watermark and wake the followers. Called
+// with mu held; returns with mu held.
+func (s *Store) leadSyncLocked() error {
 	if s.active == nil && len(s.activeBuf) == 0 {
+		// Everything staged was already sealed (sealing fsyncs).
+		s.durableSeq = s.appendSeq
 		return nil
 	}
 	if err := s.flushLocked(); err != nil {
 		return err
 	}
+	covered := s.appendSeq
 	if err := s.step(StepAppendSync, s.segPath(s.activeIdx)); err != nil {
 		return err
 	}
-	if err := s.active.Sync(); err != nil {
+	// The fsync itself runs without mu so appenders keep staging — that
+	// concurrency is the whole point of group commit. sealLocked and Close
+	// wait for !syncInFlight, so f cannot be closed or swapped under us.
+	f := s.active
+	s.syncInFlight = true
+	s.mu.Unlock()
+	err := f.Sync()
+	s.mu.Lock()
+	s.syncInFlight = false
+	s.syncDone.Broadcast()
+	if err != nil {
 		return fmt.Errorf("joblog: sync segment: %w", err)
 	}
-	s.unsyncedAppends = 0
+	if covered > s.durableSeq {
+		s.durableSeq = covered
+	}
 	return nil
+}
+
+// waitSyncIdleLocked blocks until no leader fsync is in flight. Anything
+// that closes or replaces the active segment file must call it first.
+func (s *Store) waitSyncIdleLocked() {
+	for s.syncInFlight {
+		s.syncDone.Wait()
+	}
 }
 
 // sealLocked finalizes the active segment: flush, fsync, checksum, commit
 // to the manifest. The next append opens a fresh segment.
 func (s *Store) sealLocked() error {
+	s.waitSyncIdleLocked()
 	if s.active == nil {
 		return nil
 	}
@@ -698,6 +768,7 @@ func (s *Store) sealLocked() error {
 	})
 	s.sealedBytes += int64(len(data))
 	s.activeBytes = 0
+	s.durableSeq = s.appendSeq // sealing fsynced every staged append
 	return s.commitManifest(StepSealManifest)
 }
 
@@ -742,6 +813,12 @@ func (s *Store) Close() error {
 	}
 	if err := s.syncLocked(); err != nil {
 		return err
+	}
+	// syncLocked made our target durable, but a later caller's leader fsync
+	// may still be in flight on the file we are about to close.
+	s.waitSyncIdleLocked()
+	if s.active == nil {
+		return nil
 	}
 	err := s.active.Close()
 	s.active = nil

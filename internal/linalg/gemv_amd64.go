@@ -39,6 +39,36 @@ func dotAVX(a, b *float64, n int) float64
 //go:noescape
 func axpyAVX(alpha float64, x, y *float64, n int)
 
+//go:noescape
+func axpy2AVX(a0, a1 float64, x0, x1, y *float64, n int)
+
+//go:noescape
+func mulAVX(x, y *float64, n int)
+
+//go:noescape
+func mulAccAVX(acc, a, b *float64, n int)
+
+//go:noescape
+func subAVX(dst, a, b *float64, n int)
+
+//go:noescape
+func reluMaskAVX(x, mask *float64, n int)
+
+//go:noescape
+func sqDiffAccAVX(acc, x, mean *float64, n int)
+
+//go:noescape
+func bnApplyAVX(x, xhat, mean, invStd, gamma, beta *float64, n int)
+
+//go:noescape
+func bnBackApplyAVX(out, grad, xhat, c1, c2, c3 *float64, n int)
+
+//go:noescape
+func adamStepAVX(w, m, v, grad *float64, n int, consts *float64)
+
+//go:noescape
+func dropoutApplyAVX(x, mask, u *float64, keep, invKeep float64, n int)
+
 // init installs the AVX2+FMA micro-kernels when the CPU and OS support
 // them (AVX2 + FMA3 instruction sets, YMM state enabled via XGETBV).
 // Without support, the kernel pointers stay nil and the portable scalar
@@ -75,4 +105,14 @@ func init() {
 	reluKernel = reluAVX
 	dotKernel = dotAVX
 	axpyKernel = axpyAVX
+	axpy2Kernel = axpy2AVX
+	mulKernel = mulAVX
+	mulAccKernel = mulAccAVX
+	subKernel = subAVX
+	reluMaskKernel = reluMaskAVX
+	sqDiffAccKernel = sqDiffAccAVX
+	bnApplyKernel = bnApplyAVX
+	bnBackApplyKernel = bnBackApplyAVX
+	adamStepKernel = adamStepAVX
+	dropoutApplyKernel = dropoutApplyAVX
 }

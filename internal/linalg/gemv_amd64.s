@@ -861,3 +861,412 @@ axtail:
 axdone:
 	VZEROUPPER
 	RET
+
+// func axpy2AVX(a0, a1 float64, x0, x1, y *float64, n int)
+//
+// y[i] += a0*x0[i] + a1*x1[i] in one pass over y — the paired rank-1
+// update behind GemmTA/Gemm: two fused multiply-adds per load/store of y,
+// halving the y traffic of two Axpy calls. Per element the a0 term is
+// accumulated before the a1 term, matching the scalar fallback; only the
+// intermediate product rounding differs (fused).
+TEXT ·axpy2AVX(SB), NOSPLIT, $0-48
+	VBROADCASTSD a0+0(FP), Y0
+	VBROADCASTSD a1+8(FP), Y1
+	MOVQ         x0+16(FP), SI
+	MOVQ         x1+24(FP), BX
+	MOVQ         y+32(FP), DI
+	MOVQ         n+40(FP), DX
+
+	MOVQ DX, CX
+	SHRQ $3, CX
+	JZ   a2block4
+
+a2loop8:
+	VMOVUPD     (DI), Y2
+	VMOVUPD     32(DI), Y3
+	VFMADD231PD (SI), Y0, Y2
+	VFMADD231PD 32(SI), Y0, Y3
+	VFMADD231PD (BX), Y1, Y2
+	VFMADD231PD 32(BX), Y1, Y3
+	VMOVUPD     Y2, (DI)
+	VMOVUPD     Y3, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, BX
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  a2loop8
+
+a2block4:
+	TESTQ $4, DX
+	JZ    a2tailsetup
+	VMOVUPD     (DI), Y2
+	VFMADD231PD (SI), Y0, Y2
+	VFMADD231PD (BX), Y1, Y2
+	VMOVUPD     Y2, (DI)
+	ADDQ $32, SI
+	ADDQ $32, BX
+	ADDQ $32, DI
+
+a2tailsetup:
+	ANDQ $3, DX
+	JZ   a2done
+
+a2tail:
+	VMOVSD      (DI), X2
+	VMOVSD      (SI), X3
+	VFMADD231SD X3, X0, X2
+	VMOVSD      (BX), X3
+	VFMADD231SD X3, X1, X2
+	VMOVSD      X2, (DI)
+	ADDQ $8, SI
+	ADDQ $8, BX
+	ADDQ $8, DI
+	DECQ DX
+	JNZ  a2tail
+
+a2done:
+	VZEROUPPER
+	RET
+
+// func mulAVX(x, y *float64, n int)
+//
+// x[i] *= y[i]. n is a multiple of 4 (the Go wrapper finishes the tail).
+TEXT ·mulAVX(SB), NOSPLIT, $0-24
+	MOVQ x+0(FP), DI
+	MOVQ y+8(FP), SI
+	MOVQ n+16(FP), DX
+
+	MOVQ DX, BX
+	SHRQ $3, BX
+	JZ   mlblock4
+
+mlloop8:
+	VMOVUPD (DI), Y1
+	VMOVUPD 32(DI), Y2
+	VMULPD  (SI), Y1, Y1
+	VMULPD  32(SI), Y2, Y2
+	VMOVUPD Y1, (DI)
+	VMOVUPD Y2, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DI
+	DECQ BX
+	JNZ  mlloop8
+
+mlblock4:
+	TESTQ $4, DX
+	JZ    mldone
+	VMOVUPD (DI), Y1
+	VMULPD  (SI), Y1, Y1
+	VMOVUPD Y1, (DI)
+
+mldone:
+	VZEROUPPER
+	RET
+
+// func mulAccAVX(acc, a, b *float64, n int)
+//
+// acc[i] += a[i]*b[i] (fused). n is a multiple of 4.
+TEXT ·mulAccAVX(SB), NOSPLIT, $0-32
+	MOVQ acc+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), CX
+	MOVQ n+24(FP), DX
+
+	MOVQ DX, BX
+	SHRQ $3, BX
+	JZ   mablock4
+
+maloop8:
+	VMOVUPD     (DI), Y1
+	VMOVUPD     32(DI), Y2
+	VMOVUPD     (SI), Y3
+	VMOVUPD     32(SI), Y4
+	VFMADD231PD (CX), Y3, Y1
+	VFMADD231PD 32(CX), Y4, Y2
+	VMOVUPD     Y1, (DI)
+	VMOVUPD     Y2, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, CX
+	ADDQ $64, DI
+	DECQ BX
+	JNZ  maloop8
+
+mablock4:
+	TESTQ $4, DX
+	JZ    madone
+	VMOVUPD     (DI), Y1
+	VMOVUPD     (SI), Y3
+	VFMADD231PD (CX), Y3, Y1
+	VMOVUPD     Y1, (DI)
+
+madone:
+	VZEROUPPER
+	RET
+
+// func reluMaskAVX(x, mask *float64, n int)
+//
+// mask[i] = 1 if x[i] > 0 else 0; x is rectified by ANDing with the
+// compare mask, so a NaN lane zeroes exactly like the scalar loop.
+// n is a multiple of 4.
+TEXT ·reluMaskAVX(SB), NOSPLIT, $0-24
+	MOVQ   x+0(FP), DI
+	MOVQ   mask+8(FP), SI
+	MOVQ   n+16(FP), DX
+	VXORPD Y14, Y14, Y14
+	MOVQ   $0x3FF0000000000000, AX
+	MOVQ   AX, X15
+	VBROADCASTSD X15, Y15
+
+	MOVQ DX, BX
+	SHRQ $2, BX
+	JZ   rmdone
+
+rmloop:
+	VMOVUPD (DI), Y1
+	VCMPPD  $0x1e, Y14, Y1, Y2
+	VANDPD  Y15, Y2, Y3
+	VMOVUPD Y3, (SI)
+	VANDPD  Y2, Y1, Y1
+	VMOVUPD Y1, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ BX
+	JNZ  rmloop
+
+rmdone:
+	VZEROUPPER
+	RET
+
+// func sqDiffAccAVX(acc, x, mean *float64, n int)
+//
+// acc[i] += (x[i]-mean[i])^2 (fused square). n is a multiple of 4.
+TEXT ·sqDiffAccAVX(SB), NOSPLIT, $0-32
+	MOVQ acc+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ mean+16(FP), CX
+	MOVQ n+24(FP), DX
+
+	MOVQ DX, BX
+	SHRQ $2, BX
+	JZ   sddone
+
+sdloop:
+	VMOVUPD     (SI), Y1
+	VSUBPD      (CX), Y1, Y1
+	VMOVUPD     (DI), Y2
+	VFMADD231PD Y1, Y1, Y2
+	VMOVUPD     Y2, (DI)
+	ADDQ $32, SI
+	ADDQ $32, CX
+	ADDQ $32, DI
+	DECQ BX
+	JNZ  sdloop
+
+sddone:
+	VZEROUPPER
+	RET
+
+// func bnApplyAVX(x, xhat, mean, invStd, gamma, beta *float64, n int)
+//
+// xhat[i] = (x[i]-mean[i])*invStd[i]; x[i] = gamma[i]*xhat[i]+beta[i]
+// (the affine term fused). n is a multiple of 4.
+TEXT ·bnApplyAVX(SB), NOSPLIT, $0-56
+	MOVQ x+0(FP), DI
+	MOVQ xhat+8(FP), SI
+	MOVQ mean+16(FP), DX
+	MOVQ invStd+24(FP), CX
+	MOVQ gamma+32(FP), R8
+	MOVQ beta+40(FP), R9
+	MOVQ n+48(FP), R10
+
+	MOVQ R10, BX
+	SHRQ $2, BX
+	JZ   badone
+
+baloop:
+	VMOVUPD     (DI), Y1
+	VSUBPD      (DX), Y1, Y1
+	VMULPD      (CX), Y1, Y1
+	VMOVUPD     Y1, (SI)
+	VMOVUPD     (R9), Y2
+	VFMADD231PD (R8), Y1, Y2
+	VMOVUPD     Y2, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, CX
+	ADDQ $32, R8
+	ADDQ $32, R9
+	DECQ BX
+	JNZ  baloop
+
+badone:
+	VZEROUPPER
+	RET
+
+// func bnBackApplyAVX(out, grad, xhat, c1, c2, c3 *float64, n int)
+//
+// out[i] = c1[i]*(g[i] - c2[i] - xhat[i]*c3[i]) (the xhat*c3 subtraction
+// fused). n is a multiple of 4.
+TEXT ·bnBackApplyAVX(SB), NOSPLIT, $0-56
+	MOVQ out+0(FP), DI
+	MOVQ grad+8(FP), SI
+	MOVQ xhat+16(FP), DX
+	MOVQ c1+24(FP), CX
+	MOVQ c2+32(FP), R8
+	MOVQ c3+40(FP), R9
+	MOVQ n+48(FP), R10
+
+	MOVQ R10, BX
+	SHRQ $2, BX
+	JZ   bbdone
+
+bbloop:
+	VMOVUPD      (SI), Y1
+	VSUBPD       (R8), Y1, Y1
+	VMOVUPD      (DX), Y2
+	VFNMADD231PD (R9), Y2, Y1
+	VMULPD       (CX), Y1, Y1
+	VMOVUPD      Y1, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, CX
+	ADDQ $32, R8
+	ADDQ $32, R9
+	DECQ BX
+	JNZ  bbloop
+
+bbdone:
+	VZEROUPPER
+	RET
+
+// func adamStepAVX(w, m, v, grad *float64, n int, consts *float64)
+//
+// One Adam update; consts is {b1, 1-b1, b2, 1-b2, 1/c1, 1/c2, lr, eps}.
+// The moment blends are fused; bias correction is reciprocal-multiply as
+// in the scalar fallback. n is a multiple of 4.
+TEXT ·adamStepAVX(SB), NOSPLIT, $0-48
+	MOVQ w+0(FP), DI
+	MOVQ m+8(FP), SI
+	MOVQ v+16(FP), DX
+	MOVQ grad+24(FP), CX
+	MOVQ n+32(FP), R9
+	MOVQ consts+40(FP), R8
+
+	VBROADCASTSD (R8), Y8       // b1
+	VBROADCASTSD 8(R8), Y9      // 1-b1
+	VBROADCASTSD 16(R8), Y10    // b2
+	VBROADCASTSD 24(R8), Y11    // 1-b2
+	VBROADCASTSD 32(R8), Y12    // 1/c1
+	VBROADCASTSD 40(R8), Y13    // 1/c2
+	VBROADCASTSD 48(R8), Y14    // lr
+	VBROADCASTSD 56(R8), Y15    // eps
+
+	MOVQ R9, BX
+	SHRQ $2, BX
+	JZ   asdone
+
+asloop:
+	VMOVUPD     (CX), Y1        // g
+	VMULPD      (SI), Y8, Y2    // b1*m
+	VFMADD231PD Y1, Y9, Y2      // m' = b1*m + (1-b1)*g
+	VMOVUPD     Y2, (SI)
+	VMULPD      (DX), Y10, Y3   // b2*v
+	VMULPD      Y1, Y1, Y4      // g*g
+	VFMADD231PD Y4, Y11, Y3     // v' = b2*v + (1-b2)*g*g
+	VMOVUPD     Y3, (DX)
+	VMULPD      Y13, Y3, Y5     // v'/c2
+	VSQRTPD     Y5, Y5
+	VADDPD      Y15, Y5, Y5     // sqrt(v'/c2) + eps
+	VMULPD      Y12, Y2, Y6     // m'/c1
+	VMULPD      Y14, Y6, Y6     // *lr
+	VDIVPD      Y5, Y6, Y6
+	VMOVUPD     (DI), Y7
+	VSUBPD      Y6, Y7, Y7
+	VMOVUPD     Y7, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, CX
+	DECQ BX
+	JNZ  asloop
+
+asdone:
+	VZEROUPPER
+	RET
+
+// func dropoutApplyAVX(x, mask, u *float64, keep, invKeep float64, n int)
+//
+// Where u[i] < keep: x[i] *= invKeep, mask[i] *= invKeep; elsewhere both
+// zero (scale then AND with the compare mask). n is a multiple of 4.
+TEXT ·dropoutApplyAVX(SB), NOSPLIT, $0-48
+	MOVQ         x+0(FP), DI
+	MOVQ         mask+8(FP), SI
+	MOVQ         u+16(FP), CX
+	VBROADCASTSD keep+24(FP), Y8
+	VBROADCASTSD invKeep+32(FP), Y9
+	MOVQ         n+40(FP), DX
+
+	MOVQ DX, BX
+	SHRQ $2, BX
+	JZ   dadone
+
+daloop:
+	VMOVUPD (CX), Y1
+	VCMPPD  $0x11, Y8, Y1, Y2
+	VMOVUPD (SI), Y3
+	VMULPD  Y9, Y3, Y3
+	VANDPD  Y2, Y3, Y3
+	VMOVUPD Y3, (SI)
+	VMOVUPD (DI), Y4
+	VMULPD  Y9, Y4, Y4
+	VANDPD  Y2, Y4, Y4
+	VMOVUPD Y4, (DI)
+	ADDQ $32, CX
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ BX
+	JNZ  daloop
+
+dadone:
+	VZEROUPPER
+	RET
+
+// func subAVX(dst, a, b *float64, n int)
+//
+// dst[i] = a[i] - b[i]. n is a multiple of 4 (the Go wrapper finishes the
+// tail).
+TEXT ·subAVX(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ a+8(FP), SI
+	MOVQ b+16(FP), DX
+	MOVQ n+24(FP), CX
+
+	MOVQ CX, BX
+	SHRQ $3, BX
+	JZ   sbblock4
+
+sbloop8:
+	VMOVUPD (SI), Y1
+	VMOVUPD 32(SI), Y2
+	VSUBPD  (DX), Y1, Y1
+	VSUBPD  32(DX), Y2, Y2
+	VMOVUPD Y1, (DI)
+	VMOVUPD Y2, 32(DI)
+	ADDQ $64, SI
+	ADDQ $64, DX
+	ADDQ $64, DI
+	DECQ BX
+	JNZ  sbloop8
+
+sbblock4:
+	TESTQ $4, CX
+	JZ    sbdone
+	VMOVUPD (SI), Y1
+	VSUBPD  (DX), Y1, Y1
+	VMOVUPD Y1, (DI)
+
+sbdone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,223 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The training kernels must agree with naive scalar references across
+// sizes that exercise the 8-wide loop, the 4-block, and the Go-side tail.
+// FMA contraction changes intermediate rounding, so comparisons are at
+// 1e-12 relative, not bitwise.
+
+var trainKernelSizes = []int{0, 1, 3, 4, 7, 8, 9, 12, 31, 45, 64, 100}
+
+func fillNorm(rng *rand.Rand, xs ...[]float64) {
+	for _, x := range xs {
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+	}
+}
+
+func TestEMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range trainKernelSizes {
+		x, y := make([]float64, n), make([]float64, n)
+		fillNorm(rng, x, y)
+		want := make([]float64, n)
+		for i := range x {
+			want[i] = x[i] * y[i]
+		}
+		EMul(x, y)
+		for i := range x {
+			if !relClose(x[i], want[i], 1e-12) {
+				t.Fatalf("n=%d x[%d]=%v want %v", n, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulAccMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range trainKernelSizes {
+		acc, a, b := make([]float64, n), make([]float64, n), make([]float64, n)
+		fillNorm(rng, acc, a, b)
+		want := make([]float64, n)
+		for i := range acc {
+			want[i] = acc[i] + a[i]*b[i]
+		}
+		MulAcc(acc, a, b)
+		for i := range acc {
+			if !relClose(acc[i], want[i], 1e-12) {
+				t.Fatalf("n=%d acc[%d]=%v want %v", n, i, acc[i], want[i])
+			}
+		}
+	}
+}
+
+func TestESubMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range trainKernelSizes {
+		dst, a, b := make([]float64, n), make([]float64, n), make([]float64, n)
+		fillNorm(rng, dst, a, b)
+		want := make([]float64, n)
+		for i := range a {
+			want[i] = a[i] - b[i]
+		}
+		ESub(dst, a, b)
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d dst[%d]=%v want %v", n, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestReLUMaskMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range trainKernelSizes {
+		x, mask := make([]float64, n), make([]float64, n)
+		fillNorm(rng, x)
+		if n > 2 {
+			x[0], x[1], x[2] = 0, math.Inf(-1), math.NaN()
+		}
+		wantX, wantM := make([]float64, n), make([]float64, n)
+		for i := range x {
+			if x[i] > 0 {
+				wantX[i], wantM[i] = x[i], 1
+			} else {
+				wantX[i], wantM[i] = 0, 0
+			}
+		}
+		ReLUMask(x, mask)
+		for i := range x {
+			if x[i] != wantX[i] || mask[i] != wantM[i] {
+				t.Fatalf("n=%d i=%d got x=%v mask=%v want x=%v mask=%v",
+					n, i, x[i], mask[i], wantX[i], wantM[i])
+			}
+		}
+	}
+}
+
+func TestSqDiffAccMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, n := range trainKernelSizes {
+		acc, x, mean := make([]float64, n), make([]float64, n), make([]float64, n)
+		fillNorm(rng, acc, x, mean)
+		want := make([]float64, n)
+		for i := range acc {
+			d := x[i] - mean[i]
+			want[i] = acc[i] + d*d
+		}
+		SqDiffAcc(acc, x, mean)
+		for i := range acc {
+			if !relClose(acc[i], want[i], 1e-12) {
+				t.Fatalf("n=%d acc[%d]=%v want %v", n, i, acc[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBNApplyMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, n := range trainKernelSizes {
+		x, xhat := make([]float64, n), make([]float64, n)
+		mean, invStd := make([]float64, n), make([]float64, n)
+		gamma, beta := make([]float64, n), make([]float64, n)
+		fillNorm(rng, x, mean, gamma, beta)
+		for i := range invStd {
+			invStd[i] = 0.1 + rng.Float64()
+		}
+		wantX, wantXh := make([]float64, n), make([]float64, n)
+		for i := range x {
+			xh := (x[i] - mean[i]) * invStd[i]
+			wantXh[i] = xh
+			wantX[i] = gamma[i]*xh + beta[i]
+		}
+		BNApply(x, xhat, mean, invStd, gamma, beta)
+		for i := range x {
+			if !relClose(x[i], wantX[i], 1e-12) || !relClose(xhat[i], wantXh[i], 1e-12) {
+				t.Fatalf("n=%d i=%d got x=%v xhat=%v want x=%v xhat=%v",
+					n, i, x[i], xhat[i], wantX[i], wantXh[i])
+			}
+		}
+	}
+}
+
+func TestBNBackApplyMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for _, n := range trainKernelSizes {
+		out, g, xhat := make([]float64, n), make([]float64, n), make([]float64, n)
+		c1, c2, c3 := make([]float64, n), make([]float64, n), make([]float64, n)
+		fillNorm(rng, g, xhat, c1, c2, c3)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = c1[i] * (g[i] - c2[i] - xhat[i]*c3[i])
+		}
+		BNBackApply(out, g, xhat, c1, c2, c3)
+		for i := range out {
+			if !relClose(out[i], want[i], 1e-12) {
+				t.Fatalf("n=%d out[%d]=%v want %v", n, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDropoutApplyMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	const keep, invKeep = 0.8, 1.25
+	for _, n := range trainKernelSizes {
+		x, mask, u := make([]float64, n), make([]float64, n), make([]float64, n)
+		fillNorm(rng, x)
+		for i := range u {
+			mask[i] = 1
+			u[i] = rng.Float64()
+		}
+		wantX, wantM := make([]float64, n), make([]float64, n)
+		for i := range x {
+			if u[i] < keep {
+				wantX[i], wantM[i] = x[i]*invKeep, mask[i]*invKeep
+			}
+		}
+		DropoutApply(x, mask, u, keep, invKeep)
+		for i := range x {
+			if !relClose(x[i], wantX[i], 1e-12) || !relClose(mask[i], wantM[i], 1e-12) {
+				t.Fatalf("n=%d i=%d got x=%v mask=%v want x=%v mask=%v",
+					n, i, x[i], mask[i], wantX[i], wantM[i])
+			}
+		}
+	}
+}
+
+func TestAdamStepMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const b1, b2, lr, eps = 0.9, 0.999, 1e-3, 1e-8
+	for _, n := range trainKernelSizes {
+		for step := 1; step <= 3; step++ {
+			c1 := 1 - math.Pow(b1, float64(step))
+			c2 := 1 - math.Pow(b2, float64(step))
+			w, m, v, g := make([]float64, n), make([]float64, n), make([]float64, n), make([]float64, n)
+			fillNorm(rng, w, g)
+			for i := range v {
+				m[i] = rng.NormFloat64() * 0.1
+				v[i] = rng.Float64() * 0.01
+			}
+			wantW, wantM, wantV := make([]float64, n), make([]float64, n), make([]float64, n)
+			for i := range w {
+				mi := b1*m[i] + (1-b1)*g[i]
+				vi := b2*v[i] + (1-b2)*g[i]*g[i]
+				wantM[i], wantV[i] = mi, vi
+				wantW[i] = w[i] - lr*(mi/c1)/(math.Sqrt(vi/c2)+eps)
+			}
+			AdamStep(w, m, v, g, b1, b2, c1, c2, lr, eps)
+			for i := range w {
+				if !relClose(w[i], wantW[i], 1e-12) || !relClose(m[i], wantM[i], 1e-12) || !relClose(v[i], wantV[i], 1e-12) {
+					t.Fatalf("n=%d step=%d i=%d got w=%v m=%v v=%v want w=%v m=%v v=%v",
+						n, step, i, w[i], m[i], v[i], wantW[i], wantM[i], wantV[i])
+				}
+			}
+		}
+	}
+}

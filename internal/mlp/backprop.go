@@ -1,0 +1,257 @@
+package mlp
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/hpc-repro/aiio/internal/linalg"
+)
+
+// The blocked training path. One trainScratch carries every mini-batch of
+// every epoch: activations, BN caches, fused backward masks, and two
+// ping-pong gradient blocks, all sized to the configured batch once and
+// reshaped per batch — steady-state training allocates nothing per
+// mini-batch. Dense forward rows run pairwise on the GemvT2 kernel (one
+// weight stream per pair); backward is three GEMM-shaped calls per layer
+// (ColSumsAcc for db, GemmTA for dW += Gᵀ·X, Gemm for dX = G·W), all built
+// on the Axpy2 paired rank-1 kernel.
+//
+// Equivalence with the scalar reference path (Config.ReferenceKernels): the
+// same gradients up to FP reassociation — the kernels pair rows and fuse
+// multiply-adds, so per-element sums associate differently. RNG consumption
+// is identical by construction: the dropout loop below draws one rng.Float64
+// per activation element in the same order as the reference loop, keeping
+// the epoch shuffles of the two paths aligned so parity tests see FP drift
+// only. mlp_parity_test.go pins the divergence after several epochs.
+
+// trainScratch is the reusable per-Train state of the fast path.
+type trainScratch struct {
+	xb   linalg.Matrix   // standardized batch input
+	yb   []float64       // batch targets
+	act  []linalg.Matrix // post-block activation per hidden layer
+	mask []linalg.Matrix // fused ReLU x dropout backward masks
+	xhat []linalg.Matrix // BN normalized caches
+	out  linalg.Matrix   // final linear output (batch x 1)
+	gA   linalg.Matrix   // ping-pong gradient blocks
+	gB   linalg.Matrix
+	bnMean   [][]float64
+	bnInvStd [][]float64
+	sumG     []float64 // BN backward column reductions
+	sumGX    []float64
+	bnCoef   []float64 // BN backward per-column gamma*invStd
+	dropU    []float64 // pre-drawn dropout uniforms, one per activation
+}
+
+func newTrainScratch(m *Model, batch, inCols int) *trainScratch {
+	nHidden := len(m.Config.Hidden)
+	ts := &trainScratch{
+		yb:       make([]float64, batch),
+		act:      make([]linalg.Matrix, nHidden),
+		mask:     make([]linalg.Matrix, nHidden),
+		xhat:     make([]linalg.Matrix, len(m.BN)),
+		bnMean:   make([][]float64, len(m.BN)),
+		bnInvStd: make([][]float64, len(m.BN)),
+	}
+	reshape(&ts.xb, batch, inCols)
+	maxDim := 1
+	for l, dim := range m.Config.Hidden {
+		if dim > maxDim {
+			maxDim = dim
+		}
+		reshape(&ts.act[l], batch, dim)
+		reshape(&ts.mask[l], batch, dim)
+	}
+	for i := range m.BN {
+		dim := m.BN[i].Dim
+		reshape(&ts.xhat[i], batch, dim)
+		ts.bnMean[i] = make([]float64, dim)
+		ts.bnInvStd[i] = make([]float64, dim)
+	}
+	ts.sumG = make([]float64, maxDim)
+	ts.sumGX = make([]float64, maxDim)
+	ts.bnCoef = make([]float64, maxDim)
+	ts.dropU = make([]float64, batch*maxDim)
+	reshape(&ts.out, batch, 1)
+	reshape(&ts.gA, batch, maxDim)
+	reshape(&ts.gB, batch, maxDim)
+	return ts
+}
+
+// denseForwardInto computes dst = x·Wᵀ + b into the preallocated dst,
+// walking rows in pairs so each pass over the layer weights feeds two rows.
+func denseForwardInto(d *DenseState, x, dst *linalg.Matrix) {
+	i := 0
+	for ; i+1 < x.Rows; i += 2 {
+		linalg.GemvT2(dst.Row(i), dst.Row(i+1), d.W, d.Out, d.In, x.Row(i), x.Row(i+1), d.B)
+	}
+	for ; i < x.Rows; i++ {
+		linalg.GemvT(dst.Row(i), d.W, d.Out, d.In, x.Row(i), d.B)
+	}
+}
+
+// denseBackwardInto accumulates dW += Gᵀ·X and db += Σ G, and writes
+// dX = G·W into gin when gin is non-nil (the first layer's input gradient
+// is never consumed, so callers pass nil and skip the largest product).
+func denseBackwardInto(d *DenseState, x, g *linalg.Matrix, gw, gb []float64, gin *linalg.Matrix) {
+	rows := g.Rows
+	linalg.ColSumsAcc(gb, g.Data, rows, d.Out)
+	linalg.GemmTA(gw, g.Data, x.Data, rows, d.Out, d.In)
+	if gin != nil {
+		linalg.Gemm(gin.Data, g.Data, d.W, rows, d.Out, d.In)
+	}
+}
+
+// bnForwardTrainInto is bnForwardTrain on scratch: x is normalized in place
+// (the pre-BN values are not needed by backward), xhat/mean/invStd are
+// written into the reusable slabs, and running stats update as usual.
+func bnForwardTrainInto(bn *BNState, x, xhat *linalg.Matrix, mean, invStd []float64) {
+	n := float64(x.Rows)
+	for j := range mean {
+		mean[j] = 0
+	}
+	for i := 0; i < x.Rows; i++ {
+		linalg.Axpy(1, x.Row(i), mean)
+	}
+	for j := range mean {
+		mean[j] /= n
+	}
+	// invStd doubles as the variance accumulator until the sqrt below.
+	for j := range invStd {
+		invStd[j] = 0
+	}
+	for i := 0; i < x.Rows; i++ {
+		linalg.SqDiffAcc(invStd, x.Row(i), mean)
+	}
+	const momentum = 0.9
+	for j := range invStd {
+		variance := invStd[j] / n
+		invStd[j] = 1 / math.Sqrt(variance+1e-5)
+		bn.Mean[j] = momentum*bn.Mean[j] + (1-momentum)*mean[j]
+		bn.Var[j] = momentum*bn.Var[j] + (1-momentum)*variance
+	}
+	for i := 0; i < x.Rows; i++ {
+		linalg.BNApply(x.Row(i), xhat.Row(i), mean, invStd, bn.Gamma, bn.Beta)
+	}
+}
+
+// bnBackwardInto is bnBackward on scratch, writing dL/dx into gin. The
+// column reductions Σg and Σg·x̂ are computed once and serve double duty:
+// added into gBeta/gGamma (the parameter gradients are exactly those sums)
+// and rescaled by 1/n in place as the c2/c3 coefficients of the input
+// gradient, with c1 = γ·invStd staged in coef.
+func bnBackwardInto(bn *BNState, xhat, g *linalg.Matrix, invStd []float64,
+	gGamma, gBeta []float64, gin *linalg.Matrix, sumG, sumGX, coef []float64) {
+
+	n := float64(g.Rows)
+	sumG = sumG[:bn.Dim]
+	sumGX = sumGX[:bn.Dim]
+	coef = coef[:bn.Dim]
+	for j := range sumG {
+		sumG[j] = 0
+		sumGX[j] = 0
+	}
+	for i := 0; i < g.Rows; i++ {
+		grow := g.Row(i)
+		linalg.Axpy(1, grow, sumG)
+		linalg.MulAcc(sumGX, grow, xhat.Row(i))
+	}
+	linalg.Axpy(1, sumGX, gGamma)
+	linalg.Axpy(1, sumG, gBeta)
+	for j := range coef {
+		coef[j] = bn.Gamma[j] * invStd[j]
+		sumG[j] /= n
+		sumGX[j] /= n
+	}
+	for i := 0; i < g.Rows; i++ {
+		linalg.BNBackApply(gin.Row(i), g.Row(i), xhat.Row(i), coef, sumG, sumGX)
+	}
+}
+
+// trainStepFast is the blocked forward/backward pass: the same math as
+// trainStep over the batch rows batch (indices into xs/ys), with gradients
+// accumulated into grads.
+func (m *Model) trainStepFast(ts *trainScratch, batch []int, xs *linalg.Matrix, ys []float64,
+	grads [][]float64, denseW, denseB, bnG, bnB []int, rng *rand.Rand) {
+
+	rows := len(batch)
+	nHidden := len(m.Config.Hidden)
+	xb := reshape(&ts.xb, rows, xs.Cols)
+	yb := ts.yb[:rows]
+	for bi, i := range batch {
+		copy(xb.Row(bi), xs.Row(i))
+		yb[bi] = ys[i]
+	}
+
+	// input returns what dense layer l consumed on the way up.
+	input := func(l int) *linalg.Matrix {
+		if l == 0 {
+			return xb
+		}
+		return &ts.act[l-1]
+	}
+
+	h := xb
+	for l := 0; l < nHidden; l++ {
+		d := &m.Dense[l]
+		dst := reshape(&ts.act[l], rows, d.Out)
+		denseForwardInto(d, h, dst)
+		if l > 0 {
+			bn := &m.BN[l-1]
+			bnForwardTrainInto(bn, dst, reshape(&ts.xhat[l-1], rows, bn.Dim),
+				ts.bnMean[l-1], ts.bnInvStd[l-1])
+		}
+		// ReLU, recording the keep mask; dropout then folds its inverted
+		// scale into the same mask so backward applies both in one pass.
+		mk := reshape(&ts.mask[l], rows, d.Out)
+		linalg.ReLUMask(dst.Data, mk.Data)
+		if l > 0 && m.Config.Dropout > 0 {
+			keep := 1 - m.Config.Dropout
+			invKeep := 1 / keep
+			// One rng draw per element in data order — the exact stream the
+			// reference path consumes, keeping the two paths' shuffles
+			// aligned — buffered so the keep/zero decisions apply vectorized.
+			u := ts.dropU[:len(dst.Data)]
+			for i := range u {
+				u[i] = rng.Float64()
+			}
+			linalg.DropoutApply(dst.Data, mk.Data, u, keep, invKeep)
+		}
+		h = dst
+	}
+	out := reshape(&ts.out, rows, 1)
+	denseForwardInto(&m.Dense[nHidden], h, out)
+
+	// MSE gradient on the single output, then walk the layers back down
+	// ping-ponging between the two gradient blocks.
+	bufs := [2]*linalg.Matrix{&ts.gA, &ts.gB}
+	cur := reshape(bufs[0], rows, 1)
+	curIdx := 0
+	inv := 1 / float64(rows)
+	for i := 0; i < rows; i++ {
+		cur.Data[i] = (out.Data[i] - yb[i]) * inv
+	}
+	next := reshape(bufs[1], rows, m.Dense[nHidden].In)
+	denseBackwardInto(&m.Dense[nHidden], input(nHidden), cur,
+		grads[denseW[nHidden]], grads[denseB[nHidden]], next)
+	cur, curIdx = next, 1
+
+	for l := nHidden - 1; l >= 0; l-- {
+		linalg.EMul(cur.Data, ts.mask[l].Data)
+		if l > 0 {
+			bn := &m.BN[l-1]
+			nxt := reshape(bufs[1-curIdx], rows, bn.Dim)
+			bnBackwardInto(bn, &ts.xhat[l-1], cur, ts.bnInvStd[l-1],
+				grads[bnG[l-1]], grads[bnB[l-1]], nxt, ts.sumG, ts.sumGX, ts.bnCoef)
+			cur, curIdx = nxt, 1-curIdx
+		}
+		d := &m.Dense[l]
+		var gin *linalg.Matrix
+		if l > 0 {
+			gin = reshape(bufs[1-curIdx], rows, d.In)
+		}
+		denseBackwardInto(d, input(l), cur, grads[denseW[l]], grads[denseB[l]], gin)
+		if l > 0 {
+			cur, curIdx = gin, 1-curIdx
+		}
+	}
+}

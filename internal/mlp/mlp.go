@@ -37,6 +37,15 @@ type Config struct {
 	// improved for this many epochs; the best-epoch weights are restored.
 	EarlyStoppingRounds int
 	Seed                int64
+	// ReferenceKernels routes training through the original per-row scalar
+	// forward/backward loops instead of the blocked GEMM fast path. The two
+	// paths compute the same gradients up to FP reassociation (the fast path
+	// pairs rows and fuses multiply-adds); this flag exists for equivalence
+	// tests, in the spirit of gbdt's DisableHistSubtraction.
+	ReferenceKernels bool
+	// WarmDriftTol is the input-drift score above which CanWarmStart
+	// rejects seeding from a previous model (0 means DefaultWarmDriftTol).
+	WarmDriftTol float64
 }
 
 // DefaultConfig returns the Table 5 architecture with typical optimizer
@@ -159,11 +168,18 @@ type adam struct {
 
 func newAdam(n int) *adam { return &adam{m: make([]float64, n), v: make([]float64, n)} }
 
-func (a *adam) step(w, g []float64, lr float64) {
+// step applies one Adam update. The fast path runs the vectorized
+// linalg.AdamStep; reference keeps the original scalar loop (with the
+// textbook bias-correction divisions) as the equivalence-mode baseline.
+func (a *adam) step(w, g []float64, lr float64, reference bool) {
 	a.t++
 	b1, b2, eps := 0.9, 0.999, 1e-8
 	c1 := 1 - math.Pow(b1, float64(a.t))
 	c2 := 1 - math.Pow(b2, float64(a.t))
+	if !reference {
+		linalg.AdamStep(w, a.m, a.v, g, b1, b2, c1, c2, lr, eps)
+		return
+	}
 	for i := range w {
 		a.m[i] = b1*a.m[i] + (1-b1)*g[i]
 		a.v[i] = b2*a.v[i] + (1-b2)*g[i]*g[i]
@@ -174,6 +190,25 @@ func (a *adam) step(w, g []float64, lr float64) {
 // Train fits the network on x/y with eval-based early stopping. evalX may be
 // nil to train the full epoch budget.
 func Train(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, evalY []float64) (*Model, error) {
+	return train(cfg, x, y, evalX, evalY, nil)
+}
+
+// TrainWarm fits like Train but seeds the network, standardizer, and target
+// scaling from prev — the warm start that lets incremental retraining run on
+// a reduced epoch budget. When CanWarmStart rejects prev (architecture or
+// feature-schema mismatch, input drift past the tolerance) it falls back to
+// a cold start with the same cfg. Before the first epoch the seed weights
+// are scored on the eval set and held as the early-stopping baseline, so a
+// diverging warm run can never ship worse weights than it started with
+// (BestEpoch is -1 when the seed weights win).
+func TrainWarm(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, evalY []float64, prev *Model) (*Model, error) {
+	if ok, _ := CanWarmStart(prev, cfg, x, y); !ok {
+		prev = nil
+	}
+	return train(cfg, x, y, evalX, evalY, prev)
+}
+
+func train(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, evalY []float64, prev *Model) (*Model, error) {
 	if x.Rows == 0 {
 		return nil, errors.New("mlp: empty training set")
 	}
@@ -195,18 +230,26 @@ func Train(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, eval
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	m := &Model{Config: cfg}
-	m.fitStandardizer(x, y)
+	if prev != nil {
+		// Warm start: continue training prev's network on the new data. The
+		// standardizer comes along with the weights — the first dense layer
+		// was learned against prev's input scaling, so refitting it here
+		// would silently invalidate every layer.
+		m.adoptPrevious(prev)
+	} else {
+		m.fitStandardizer(x, y)
 
-	// Build layers: Dense(h0)+ReLU, then for each further hidden width
-	// Dense+BN+ReLU+Dropout, then Dense(1).
-	dims := append([]int{x.Cols}, cfg.Hidden...)
-	for i := 0; i < len(cfg.Hidden); i++ {
-		m.Dense = append(m.Dense, initDense(dims[i], dims[i+1], rng))
-		if i > 0 {
-			m.BN = append(m.BN, initBN(dims[i+1]))
+		// Build layers: Dense(h0)+ReLU, then for each further hidden width
+		// Dense+BN+ReLU+Dropout, then Dense(1).
+		dims := append([]int{x.Cols}, cfg.Hidden...)
+		for i := 0; i < len(cfg.Hidden); i++ {
+			m.Dense = append(m.Dense, initDense(dims[i], dims[i+1], rng))
+			if i > 0 {
+				m.BN = append(m.BN, initBN(dims[i+1]))
+			}
 		}
+		m.Dense = append(m.Dense, initDense(dims[len(dims)-1], 1, rng))
 	}
-	m.Dense = append(m.Dense, initDense(dims[len(dims)-1], 1, rng))
 
 	// Optimizer state per tensor.
 	opts := make([]*adam, 0, 2*len(m.Dense)+2*len(m.BN))
@@ -244,10 +287,24 @@ func Train(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, eval
 	best := math.Inf(1)
 	sinceBest := 0
 	var snapshot *Model
+	if prev != nil && evalXS != nil {
+		// The warm seed is already a working model: score it before the
+		// first epoch so early stopping restores it if no epoch improves.
+		best = rmseSlices(m.predictStandardized(evalXS), evalY)
+		m.BestEpoch = -1
+		snapshot = m.cloneWeights()
+	}
 
 	order := make([]int, x.Rows)
 	for i := range order {
 		order[i] = i
+	}
+
+	// The fast path reuses one set of batch-sized scratch slabs for every
+	// mini-batch of every epoch; only the reference path allocates per batch.
+	var ts *trainScratch
+	if !cfg.ReferenceKernels {
+		ts = newTrainScratch(m, cfg.BatchSize, x.Cols)
 	}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
@@ -258,20 +315,24 @@ func Train(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, eval
 				hi = len(order)
 			}
 			batch := order[lo:hi]
-			xb := linalg.NewMatrix(len(batch), x.Cols)
-			yb := make([]float64, len(batch))
-			for bi, i := range batch {
-				copy(xb.Row(bi), xs.Row(i))
-				yb[bi] = ys[i]
-			}
 			for _, g := range grads {
 				for i := range g {
 					g[i] = 0
 				}
 			}
-			m.trainStep(xb, yb, grads, denseW, denseB, bnG, bnB, rng)
+			if ts != nil {
+				m.trainStepFast(ts, batch, xs, ys, grads, denseW, denseB, bnG, bnB, rng)
+			} else {
+				xb := linalg.NewMatrix(len(batch), x.Cols)
+				yb := make([]float64, len(batch))
+				for bi, i := range batch {
+					copy(xb.Row(bi), xs.Row(i))
+					yb[bi] = ys[i]
+				}
+				m.trainStep(xb, yb, grads, denseW, denseB, bnG, bnB, rng)
+			}
 			for i := range tensors {
-				opts[i].step(tensors[i], grads[i], cfg.LearningRate)
+				opts[i].step(tensors[i], grads[i], cfg.LearningRate, cfg.ReferenceKernels)
 			}
 		}
 
@@ -505,7 +566,10 @@ func bnBackward(bn *BNState, xhat, gradOut *linalg.Matrix, invStd []float64, gGa
 }
 
 // trainStep runs one forward/backward pass on a standardized batch,
-// accumulating gradients into grads (indexed by the tensor ids).
+// accumulating gradients into grads (indexed by the tensor ids). This is
+// the reference path (Config.ReferenceKernels): per-row scalar loops with
+// per-batch allocations, kept as the equivalence baseline for the blocked
+// trainStepFast in backprop.go.
 func (m *Model) trainStep(xb *linalg.Matrix, yb []float64, grads [][]float64,
 	denseW, denseB, bnG, bnB []int, rng *rand.Rand) {
 
@@ -728,6 +792,29 @@ func (m *Model) cloneWeights() *Model {
 			Var:   append([]float64(nil), bn.Var...)}
 	}
 	return cp
+}
+
+// adoptPrevious deep-copies prev's standardizer, target scaling, and
+// learned tensors into m as the warm-start seed. prev is never aliased: the
+// previous generation may still be serving predictions concurrently.
+func (m *Model) adoptPrevious(prev *Model) {
+	m.Mean = append([]float64(nil), prev.Mean...)
+	m.Std = append([]float64(nil), prev.Std...)
+	m.ConstantCols = append([]int(nil), prev.ConstantCols...)
+	m.YMean, m.YStd = prev.YMean, prev.YStd
+	m.Dense = make([]DenseState, len(prev.Dense))
+	for i, d := range prev.Dense {
+		m.Dense[i] = DenseState{In: d.In, Out: d.Out,
+			W: append([]float64(nil), d.W...), B: append([]float64(nil), d.B...)}
+	}
+	m.BN = make([]BNState, len(prev.BN))
+	for i, bn := range prev.BN {
+		m.BN[i] = BNState{Dim: bn.Dim,
+			Gamma: append([]float64(nil), bn.Gamma...),
+			Beta:  append([]float64(nil), bn.Beta...),
+			Mean:  append([]float64(nil), bn.Mean...),
+			Var:   append([]float64(nil), bn.Var...)}
+	}
 }
 
 func (m *Model) restoreWeights(snap *Model) {

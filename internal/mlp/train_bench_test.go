@@ -1,0 +1,50 @@
+package mlp
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hpc-repro/aiio/internal/linalg"
+)
+
+// benchData synthesizes a dense regression problem at the fixture's shape
+// (86 features) so the kernelized-vs-reference ratio can be profiled inside
+// this package without the feature-pipeline fixtures.
+func benchData(rows, cols int, seed int64) (*linalg.Matrix, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := linalg.NewMatrix(rows, cols)
+	y := make([]float64, rows)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range y {
+		row := x.Row(i)
+		y[i] = 3*row[0] - 2*row[1] + row[2]*row[3] + 0.1*rng.NormFloat64()
+	}
+	return x, y
+}
+
+// BenchmarkTrainProfile pits the kernelized training path against the
+// ReferenceKernels scalar path on identical data and budgets.
+func BenchmarkTrainProfile(b *testing.B) {
+	x, y := benchData(675, 86, 1)
+	ex, ey := benchData(225, 86, 2)
+	for _, ref := range []bool{false, true} {
+		name := "fast"
+		if ref {
+			name = "ref"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Epochs = 20
+			cfg.EarlyStoppingRounds = 0
+			cfg.ReferenceKernels = ref
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Train(cfg, x, y, ex, ey); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

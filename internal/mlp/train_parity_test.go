@@ -1,0 +1,100 @@
+package mlp
+
+import (
+	"math"
+	"testing"
+)
+
+// The blocked training path (trainStepFast) must track the scalar reference
+// path (Config.ReferenceKernels) to FP-reassociation accuracy. Both paths
+// consume the rng identically (one dropout draw per element), so with the
+// same seed they see the same shuffles and the same dropout masks; the only
+// divergence is rounding from paired rows and fused multiply-adds, which
+// compounds through Adam over epochs. The documented training-parity
+// tolerance is 1e-6 relative on predictions after a 5-epoch fit — the same
+// contract BENCH_training.json records for the end-to-end diagnose parity.
+const trainParityTol = 1e-6
+
+func trainBothPaths(t *testing.T, cfg Config, epochs int) (fast, ref *Model) {
+	t.Helper()
+	x, y := synth(600, 5, 31)
+	ex, ey := synth(150, 5, 32)
+	cfg.Epochs = epochs
+	cfg.EarlyStoppingRounds = 0
+
+	cfg.ReferenceKernels = false
+	fast, err := Train(cfg, x, y, ex, ey)
+	if err != nil {
+		t.Fatalf("fast train: %v", err)
+	}
+	cfg.ReferenceKernels = true
+	ref, err = Train(cfg, x, y, ex, ey)
+	if err != nil {
+		t.Fatalf("reference train: %v", err)
+	}
+	return fast, ref
+}
+
+func TestTrainFastMatchesReference(t *testing.T) {
+	cfg := smallConfig()
+	fast, ref := trainBothPaths(t, cfg, 5)
+
+	px, _ := synth(200, 5, 33)
+	pf := fast.PredictBatch(px)
+	pr := ref.PredictBatch(px)
+	for i := range pf {
+		rel := math.Abs(pf[i]-pr[i]) / math.Max(1, math.Abs(pr[i]))
+		if rel > trainParityTol {
+			t.Fatalf("prediction %d diverged: fast=%v ref=%v rel=%.3g (tol %g)",
+				i, pf[i], pr[i], rel, trainParityTol)
+		}
+	}
+	// The learned tensors themselves must agree too, not just their
+	// composition into predictions.
+	for li := range fast.Dense {
+		for wi := range fast.Dense[li].W {
+			a, b := fast.Dense[li].W[wi], ref.Dense[li].W[wi]
+			if math.Abs(a-b) > trainParityTol*math.Max(1, math.Abs(b)) {
+				t.Fatalf("dense[%d].W[%d] diverged: fast=%v ref=%v", li, wi, a, b)
+			}
+		}
+	}
+}
+
+func TestTrainFastMatchesReferenceWithoutDropout(t *testing.T) {
+	// Dropout off exercises the pure GEMM forward/backward equivalence with
+	// no mask interplay.
+	cfg := smallConfig()
+	cfg.Dropout = 0
+	fast, ref := trainBothPaths(t, cfg, 5)
+	px, _ := synth(100, 5, 34)
+	pf := fast.PredictBatch(px)
+	pr := ref.PredictBatch(px)
+	for i := range pf {
+		if math.Abs(pf[i]-pr[i]) > trainParityTol*math.Max(1, math.Abs(pr[i])) {
+			t.Fatalf("prediction %d diverged: fast=%v ref=%v", i, pf[i], pr[i])
+		}
+	}
+}
+
+func TestTrainFastConvergesLikeReference(t *testing.T) {
+	// Over a realistic budget the FP drift makes bitwise comparison
+	// meaningless, but both paths must land at the same quality.
+	cfg := smallConfig()
+	x, y := synth(1200, 5, 35)
+	ex, ey := synth(300, 5, 36)
+	fast, err := Train(cfg, x, y, ex, ey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.ReferenceKernels = true
+	ref, err := Train(cfg, x, y, ex, ey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef := rmseOf(fast.PredictBatch(ex), ey)
+	er := rmseOf(ref.PredictBatch(ex), ey)
+	if ef > er*1.25+0.05 {
+		t.Fatalf("fast path converged worse: fast RMSE %v vs reference %v", ef, er)
+	}
+}

@@ -45,6 +45,15 @@ type Config struct {
 	// EarlyStoppingRounds stops training when the eval RMSE stalls.
 	EarlyStoppingRounds int
 	Seed                int64
+	// ReferenceKernels routes training through the original allocating
+	// per-sample forward/backward (forwardSample/backwardSample) instead of
+	// the scratch-slab kernel path. The two paths compute the same gradients
+	// up to FP reassociation; the flag exists for equivalence tests, in the
+	// spirit of gbdt's DisableHistSubtraction.
+	ReferenceKernels bool
+	// WarmDriftTol is the input-drift score above which CanWarmStart
+	// rejects seeding from a previous model (0 means DefaultWarmDriftTol).
+	WarmDriftTol float64
 }
 
 // DefaultConfig mirrors pytorch-tabnet's defaults at a small scale.
@@ -687,6 +696,23 @@ func (m *Model) backwardSample(x []float64, caches []stepCache, gOut float64, g 
 
 // Train fits the model with Adam and early stopping.
 func Train(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, evalY []float64) (*Model, error) {
+	return train(cfg, x, y, evalX, evalY, nil)
+}
+
+// TrainWarm fits like Train but seeds the network, standardizer, and target
+// scaling from prev so incremental retraining can run on a reduced epoch
+// budget. When CanWarmStart rejects prev it falls back to a cold start. The
+// seed weights are scored on the eval set before the first epoch as the
+// early-stopping baseline, so a diverging warm run restores them
+// (BestEpoch is -1 when the seed weights win).
+func TrainWarm(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, evalY []float64, prev *Model) (*Model, error) {
+	if ok, _ := CanWarmStart(prev, cfg, x, y); !ok {
+		prev = nil
+	}
+	return train(cfg, x, y, evalX, evalY, prev)
+}
+
+func train(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, evalY []float64, prev *Model) (*Model, error) {
 	if x.Rows == 0 {
 		return nil, errors.New("tabnet: empty training set")
 	}
@@ -712,13 +738,20 @@ func Train(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, eval
 	h := cfg.DecisionDim + cfg.AttentionDim
 
 	m := &Model{Config: cfg, NumFeatures: x.Cols}
-	m.fitStandardizer(x, y)
-	m.Shared = newDense(x.Cols, 2*h, rng)
-	for s := 0; s < cfg.Steps; s++ {
-		m.StepFC = append(m.StepFC, newDense(h, 2*h, rng))
-		m.AttFC = append(m.AttFC, newDense(cfg.AttentionDim, x.Cols, rng))
+	if prev != nil {
+		// Warm start: continue training prev's network. The standardizer
+		// travels with the weights — every layer was learned against prev's
+		// input scaling, so it must not be refit here.
+		m.adoptPrevious(prev)
+	} else {
+		m.fitStandardizer(x, y)
+		m.Shared = newDense(x.Cols, 2*h, rng)
+		for s := 0; s < cfg.Steps; s++ {
+			m.StepFC = append(m.StepFC, newDense(h, 2*h, rng))
+			m.AttFC = append(m.AttFC, newDense(cfg.AttentionDim, x.Cols, rng))
+		}
+		m.Out = newDense(cfg.DecisionDim, 1, rng)
 	}
-	m.Out = newDense(cfg.DecisionDim, 1, rng)
 
 	g := m.newGrads()
 	opt := newAdamSet(g)
@@ -740,6 +773,21 @@ func Train(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, eval
 	best := math.Inf(1)
 	sinceBest := 0
 	var snapshot *Model
+	if prev != nil && evalXS != nil {
+		// The warm seed is already a working model: score it before the
+		// first epoch so early stopping restores it if no epoch improves.
+		best = rmseSlices(m.predictStandardized(evalXS), evalY)
+		m.BestEpoch = -1
+		snapshot = m.cloneWeights()
+	}
+
+	// The fast path reuses one trainScratch (per-step caches, every backward
+	// temporary) for all samples of all epochs; only the reference path
+	// allocates per sample.
+	var ts *trainScratch
+	if !cfg.ReferenceKernels {
+		ts = m.newTrainScratch()
+	}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -750,12 +798,19 @@ func Train(cfg Config, x *linalg.Matrix, y []float64, evalX *linalg.Matrix, eval
 			}
 			g.zero()
 			inv := 1 / float64(hi-lo)
-			for _, i := range order[lo:hi] {
-				var caches []stepCache
-				pred := m.forwardSample(xs.Row(i), &caches)
-				m.backwardSample(xs.Row(i), caches, (pred-ys[i])*inv, g)
+			if ts != nil {
+				for _, i := range order[lo:hi] {
+					pred := m.forwardTrain(xs.Row(i), ts)
+					m.backwardTrain(xs.Row(i), ts, (pred-ys[i])*inv, g)
+				}
+			} else {
+				for _, i := range order[lo:hi] {
+					var caches []stepCache
+					pred := m.forwardSample(xs.Row(i), &caches)
+					m.backwardSample(xs.Row(i), caches, (pred-ys[i])*inv, g)
+				}
 			}
-			opt.step(m, g, cfg.LearningRate)
+			opt.step(m, g, cfg.LearningRate, cfg.ReferenceKernels)
 		}
 		m.TrainLoss = append(m.TrainLoss, m.rmseStandardized(xs, ys))
 		if evalXS != nil {
@@ -817,7 +872,11 @@ func newAdamSet(g *grads) *adamSet {
 	return a
 }
 
-func (a *adamSet) step(m *Model, g *grads, lr float64) {
+// step applies one Adam update across every tensor. The fast path runs the
+// vectorized linalg.AdamStep; reference keeps the original scalar loop
+// (with the textbook bias-correction divisions) as the equivalence-mode
+// baseline.
+func (a *adamSet) step(m *Model, g *grads, lr float64, reference bool) {
 	a.t++
 	b1, b2, eps := 0.9, 0.999, 1e-8
 	c1 := 1 - math.Pow(b1, float64(a.t))
@@ -826,6 +885,10 @@ func (a *adamSet) step(m *Model, g *grads, lr float64) {
 	for ti := range weights {
 		w, gr := weights[ti], gradList[ti]
 		mm, vv := a.ms[ti], a.vs[ti]
+		if !reference {
+			linalg.AdamStep(w, mm, vv, gr, b1, b2, c1, c2, lr, eps)
+			continue
+		}
 		for i := range w {
 			mm[i] = b1*mm[i] + (1-b1)*gr[i]
 			vv[i] = b2*vv[i] + (1-b2)*gr[i]*gr[i]
@@ -931,13 +994,17 @@ func (m *Model) predictStandardized(xs *linalg.Matrix) []float64 {
 	return out
 }
 
+// rmseStandardized scores the per-epoch training loss through the pooled
+// vectorized inference path (forwardSample and forwardInference agree to
+// float rounding; this is measurement, not training math).
 func (m *Model) rmseStandardized(xs *linalg.Matrix, ys []float64) float64 {
+	pred := m.predictStandardized(xs)
 	s := 0.0
-	for i := 0; i < xs.Rows; i++ {
-		d := m.forwardSample(xs.Row(i), nil) - ys[i]
+	for i := range ys {
+		d := (pred[i]-m.YMean)/m.YStd - ys[i]
 		s += d * d
 	}
-	return math.Sqrt(s / float64(xs.Rows))
+	return math.Sqrt(s / float64(len(ys)))
 }
 
 func rmseSlices(pred, y []float64) float64 {
@@ -1005,6 +1072,28 @@ func (m *Model) cloneWeights() *Model {
 		cp.AttFC = append(cp.AttFC, cd(m.AttFC[s]))
 	}
 	return cp
+}
+
+// adoptPrevious deep-copies prev's standardizer, target scaling, and
+// learned tensors into m as the warm-start seed. prev is never aliased: the
+// previous generation may still be serving predictions concurrently.
+func (m *Model) adoptPrevious(prev *Model) {
+	m.Mean = append([]float64(nil), prev.Mean...)
+	m.Std = append([]float64(nil), prev.Std...)
+	m.ConstantCols = append([]int(nil), prev.ConstantCols...)
+	m.YMean, m.YStd = prev.YMean, prev.YStd
+	cd := func(d dense) dense {
+		return dense{In: d.In, Out: d.Out,
+			W: append([]float64(nil), d.W...), B: append([]float64(nil), d.B...)}
+	}
+	m.Shared = cd(prev.Shared)
+	m.Out = cd(prev.Out)
+	m.StepFC = make([]dense, len(prev.StepFC))
+	m.AttFC = make([]dense, len(prev.AttFC))
+	for s := range prev.StepFC {
+		m.StepFC[s] = cd(prev.StepFC[s])
+		m.AttFC[s] = cd(prev.AttFC[s])
+	}
 }
 
 func (m *Model) restoreWeights(snap *Model) {

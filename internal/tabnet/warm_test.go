@@ -1,0 +1,116 @@
+package tabnet
+
+import (
+	"testing"
+
+	"github.com/hpc-repro/aiio/internal/linalg"
+)
+
+func TestWarmStartConvergesFasterThanCold(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Epochs = 40
+	x, y := synth(900, 8, 61)
+	ex, ey := synth(250, 8, 62)
+	prev, err := Train(cfg, x, y, ex, ey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRMSE := rmseOf(prev.PredictBatch(ex), ey)
+
+	// Fresh draw from the same distribution: a warm start on a fraction of
+	// the epoch budget must match the full cold fit (+ epsilon).
+	x2, y2 := synth(900, 8, 63)
+	warmCfg := cfg
+	warmCfg.Epochs = cfg.Epochs / 4
+	warm, err := TrainWarm(warmCfg, x2, y2, ex, ey, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRMSE := rmseOf(warm.PredictBatch(ex), ey)
+	if warmRMSE > coldRMSE*1.15+0.05 {
+		t.Fatalf("warm start on 1/4 budget did not hold the line: warm RMSE %v vs cold %v", warmRMSE, coldRMSE)
+	}
+}
+
+func TestWarmStartNeverWorseThanSeed(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Epochs = 30
+	x, y := synth(600, 8, 64)
+	ex, ey := synth(150, 8, 65)
+	prev, err := Train(cfg, x, y, ex, ey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedRMSE := rmseOf(prev.PredictBatch(ex), ey)
+
+	// Even a hostile warm run (huge LR, tiny budget) must restore the seed
+	// weights via the pre-epoch early-stopping baseline.
+	warmCfg := cfg
+	warmCfg.Epochs = 2
+	warmCfg.LearningRate = 0.5
+	warmCfg.EarlyStoppingRounds = 1
+	x2, y2 := synth(600, 8, 66)
+	warm, err := TrainWarm(warmCfg, x2, y2, ex, ey, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRMSE := rmseOf(warm.PredictBatch(ex), ey)
+	if warmRMSE > seedRMSE*1.01+1e-9 {
+		t.Fatalf("diverging warm run shipped worse weights than its seed: %v vs %v (BestEpoch=%d)",
+			warmRMSE, seedRMSE, warm.BestEpoch)
+	}
+}
+
+func TestCanWarmStartRejections(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Epochs = 4
+	x, y := synth(300, 8, 67)
+	prev, err := Train(cfg, x, y, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if ok, _ := CanWarmStart(nil, cfg, x, y); ok {
+		t.Fatal("nil prev accepted")
+	}
+	if ok, reason := CanWarmStart(prev, cfg, x, y); !ok {
+		t.Fatalf("same-schema same-data warm start rejected: %s", reason)
+	}
+
+	archCfg := cfg
+	archCfg.Steps = cfg.Steps + 1
+	if ok, reason := CanWarmStart(prev, archCfg, x, y); ok || reason == "" {
+		t.Fatalf("step-count change accepted (%q)", reason)
+	}
+	dimCfg := cfg
+	dimCfg.DecisionDim = 16
+	if ok, reason := CanWarmStart(prev, dimCfg, x, y); ok || reason == "" {
+		t.Fatalf("decision-dim change accepted (%q)", reason)
+	}
+
+	wide := linalg.NewMatrix(x.Rows, x.Cols+3)
+	if ok, reason := CanWarmStart(prev, cfg, wide, y); ok || reason == "" {
+		t.Fatalf("schema change accepted (%q)", reason)
+	}
+
+	// Shift every feature far beyond the drift tolerance.
+	shifted := x.Clone()
+	for i := range shifted.Data {
+		shifted.Data[i] += 1e6
+	}
+	if ok, reason := CanWarmStart(prev, cfg, shifted, y); ok || reason == "" {
+		t.Fatalf("drifted inputs accepted (%q)", reason)
+	}
+
+	// TrainWarm on drifted data must fall back to a cold start and still
+	// produce a valid model (fresh standardizer fitted to the new data).
+	coldCfg := cfg
+	coldCfg.Epochs = 2
+	m, err := TrainWarm(coldCfg, shifted, y, nil, nil, prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mean[0] == prev.Mean[0] {
+		t.Fatal("fallback cold start reused the stale standardizer")
+	}
+}
