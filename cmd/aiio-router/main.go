@@ -1,0 +1,111 @@
+// Command aiio-router fronts a fleet of aiio-server replicas with
+// consistent-hash affinity routing:
+//
+//	aiio-router -replicas http://127.0.0.1:8081,http://127.0.0.1:8082 \
+//	            [-addr :8080] [-vnodes 128] [-fail-threshold 3]
+//	            [-probe-interval 2s] [-request-timeout 2m] [-max-body N]
+//
+// Every job-carrying request is hashed by its body onto a consistent-hash
+// ring over the healthy replicas, so repeat diagnoses of the same job land
+// on the same replica's LRU cache. Replicas are health-gated by their own
+// /readyz (polled every -probe-interval; -fail-threshold consecutive
+// failures remove one from the ring, a single success restores it). When
+// an owner sheds with 429, answers 5xx, or drops the connection, the
+// buffered body replays against the next member in ring order — a killed
+// replica costs a failover, not a lost request.
+//
+// The router holds no model state: replicas replicate generations among
+// themselves (aiio-server -peers), so any number of routers can front the
+// same fleet.
+//
+// Endpoints: /healthz (member table + counters), /readyz (≥1 healthy
+// replica), everything else proxied.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/hpc-repro/aiio/internal/replica"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs (required)")
+	vnodes := flag.Int("vnodes", replica.DefaultVirtualNodes, "virtual nodes per replica on the hash ring")
+	failThreshold := flag.Int("fail-threshold", replica.DefaultFailThreshold,
+		"consecutive probe/transport failures that take a replica off the ring")
+	probeInterval := flag.Duration("probe-interval", replica.DefaultProbeInterval,
+		"how often to poll each replica's /readyz")
+	probeTimeout := flag.Duration("probe-timeout", replica.DefaultProbeTimeout,
+		"per-probe deadline")
+	requestTimeout := flag.Duration("request-timeout", 2*time.Minute,
+		"end-to-end proxy deadline per request, spanning all failover attempts (0 = none)")
+	maxBody := flag.Int64("max-body", replica.DefaultRouterMaxBody,
+		"request body cap in bytes (bodies are buffered for failover replay)")
+	flag.Parse()
+
+	var members []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			members = append(members, strings.TrimRight(r, "/"))
+		}
+	}
+	if len(members) == 0 {
+		log.Fatal("aiio-router: -replicas is required (comma-separated base URLs)")
+	}
+
+	rt := replica.NewRouter(replica.RouterConfig{
+		Replicas:      members,
+		VirtualNodes:  *vnodes,
+		FailThreshold: *failThreshold,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		MaxBody:       *maxBody,
+	})
+
+	handler := rt.Handler()
+	if *requestTimeout > 0 {
+		inner := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), *requestTimeout)
+			defer cancel()
+			inner.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go rt.Run(ctx)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("aiio-router: routing over %d replicas, listening on %s\n", len(members), *addr)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("aiio-router: %v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("aiio-router: shutdown incomplete: %v", err)
+		}
+	}
+}

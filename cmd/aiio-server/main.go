@@ -23,6 +23,17 @@
 //	                               deduplicated so retries are idempotent;
 //	                               -retrain-after N triggers a background
 //	                               incremental retrain + validated hot-swap)
+//	GET  /api/v1/generations       replication handshake: registry + serving
+//	                               generation and content fingerprint
+//	GET  /api/v1/generations/{id}  generation manifest JSON;
+//	     .../{id}/files/{file}     raw model bytes (SHA-256-verified by the
+//	                               pulling peer before hot-swap)
+//
+// With -peers, the server pulls newer model generations from its peer
+// replicas every -sync-interval and hot-swaps them after verification, so
+// an upload or retrain on any replica converges the fleet. With
+// -coalesce-window, concurrent single-job diagnoses fuse into micro-batches
+// (see cmd/aiio-router for the fleet-front affinity router).
 //
 // The diagnosis endpoints sit behind a bounded admission queue: at most
 // -max-inflight requests execute concurrently per endpoint, at most
@@ -48,12 +59,14 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/hpc-repro/aiio/internal/admission"
 	"github.com/hpc-repro/aiio/internal/core"
 	"github.com/hpc-repro/aiio/internal/joblog"
+	"github.com/hpc-repro/aiio/internal/replica"
 	"github.com/hpc-repro/aiio/internal/shap"
 	"github.com/hpc-repro/aiio/internal/webservice"
 )
@@ -98,6 +111,14 @@ func main() {
 		"fraction of the cold budget warm-started models train for")
 	ingestInflight := flag.Int("ingest-inflight", 0,
 		"concurrent ingest requests (its own admission budget; 0 = the -max-inflight default)")
+	coalesceWindow := flag.Duration("coalesce-window", webservice.DefaultCoalesceWindow,
+		"micro-batch window: single-job diagnoses arriving within it fuse into one batch pass (0 disables)")
+	coalesceMax := flag.Int("coalesce-max", webservice.DefaultCoalesceMax,
+		"requests per fused micro-batch; a full batch dispatches before the window expires")
+	peers := flag.String("peers", "",
+		"comma-separated peer replica base URLs; enables pull-based model generation replication")
+	syncInterval := flag.Duration("sync-interval", replica.DefaultSyncInterval,
+		"how often to poll -peers for newer model generations")
 	flag.Parse()
 
 	store := core.OpenStore(*modelsDir)
@@ -128,6 +149,8 @@ func main() {
 	ws.CacheSize = *cacheSize
 	ws.Store = store
 	ws.SetGeneration(rep)
+	ws.CoalesceWindow = *coalesceWindow
+	ws.CoalesceMax = *coalesceMax
 	ws.Admission = admission.NewController(admission.Config{
 		MaxInflight: *maxInflight,
 		QueueDepth:  *queueDepth,
@@ -191,6 +214,33 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *peers != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, strings.TrimRight(p, "/"))
+			}
+		}
+		sy := &replica.Syncer{
+			Store:    store,
+			Peers:    peerList,
+			Interval: *syncInterval,
+			Current: func() (uint64, string) {
+				if rep := ws.GenerationReport(); rep != nil {
+					return rep.Generation, rep.Fingerprint
+				}
+				return 0, ""
+			},
+			OnAdopt: func(ens *core.Ensemble, gen uint64, fp string) error {
+				return ws.AdoptGeneration(ens, &core.LoadReport{Generation: gen, Fingerprint: fp})
+			},
+			Logf: log.Printf,
+		}
+		go sy.Run(ctx)
+		log.Printf("aiio-server: replicating model generations from %d peer(s) every %s",
+			len(peerList), *syncInterval)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

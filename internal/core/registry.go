@@ -43,17 +43,43 @@ import (
 // The pre-versioning flat layout (manifest.json and gobs directly in dir,
 // no checksums) still loads, reported as generation 0 / legacy.
 
-// manifestEntry describes one stored model.
-type manifestEntry struct {
+// ManifestEntry describes one stored model file. It is exported because the
+// manifest is the unit of generation replication: a follower replica fetches
+// a peer's manifest, then each model file, and verifies every SHA256 before
+// the generation can be committed locally.
+type ManifestEntry struct {
 	Name   string `json:"name"`
 	Kind   string `json:"kind"`
 	File   string `json:"file"`
 	SHA256 string `json:"sha256,omitempty"`
 }
 
-type manifest struct {
+// GenerationManifest is one committed generation's content listing.
+type GenerationManifest struct {
 	Generation uint64          `json:"generation,omitempty"`
-	Models     []manifestEntry `json:"models"`
+	Models     []ManifestEntry `json:"models"`
+}
+
+// Fingerprint is the content identity of a generation: the SHA-256 over the
+// sorted (name, model checksum) pairs, independent of the local generation
+// number. Two replicas serve the same model set iff their fingerprints
+// match, no matter how their generation counters drifted. Empty when any
+// model entry predates checksums (legacy layout).
+func (m *GenerationManifest) Fingerprint() string {
+	lines := make([]string, 0, len(m.Models))
+	for _, e := range m.Models {
+		if e.SHA256 == "" {
+			return ""
+		}
+		lines = append(lines, e.Name+":"+e.SHA256)
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, l := range lines {
+		io.WriteString(h, l)
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 const (
@@ -207,7 +233,7 @@ func (s *Store) Save(e *Ensemble) (uint64, error) {
 	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
 		return 0, fmt.Errorf("core: create temp generation: %w", err)
 	}
-	man := manifest{Generation: next}
+	man := GenerationManifest{Generation: next}
 	for _, m := range e.Models {
 		file := m.Name() + ".gob"
 		path := filepath.Join(tmpDir, file)
@@ -218,7 +244,7 @@ func (s *Store) Save(e *Ensemble) (uint64, error) {
 		if err != nil {
 			return 0, err
 		}
-		man.Models = append(man.Models, manifestEntry{
+		man.Models = append(man.Models, ManifestEntry{
 			Name: m.Name(), Kind: m.Kind(), File: file, SHA256: sum,
 		})
 	}
@@ -321,6 +347,9 @@ type LoadReport struct {
 	// Rejected lists every generation that failed verification, newest
 	// first.
 	Rejected []GenerationError `json:"rejected,omitempty"`
+	// Fingerprint is the content identity of the loaded generation (see
+	// GenerationManifest.Fingerprint); empty for legacy layouts.
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // Load reads the newest verifiable generation: checksums are recomputed
@@ -357,13 +386,14 @@ func (s *Store) Load() (*Ensemble, *LoadReport, error) {
 		if gen > start {
 			continue
 		}
-		e, err := s.loadGeneration(gen)
+		e, man, err := s.loadGeneration(gen)
 		if err != nil {
 			rep.Rejected = append(rep.Rejected, GenerationError{Generation: gen, Err: err.Error()})
 			continue
 		}
 		rep.Generation = gen
 		rep.FellBack = len(rep.Rejected) > 0
+		rep.Fingerprint = man.Fingerprint()
 		return e, rep, nil
 	}
 	return nil, nil, fmt.Errorf("core: registry %s: no loadable generation (%d rejected, newest: %s)",
@@ -371,42 +401,241 @@ func (s *Store) Load() (*Ensemble, *LoadReport, error) {
 }
 
 // loadGeneration verifies and decodes one committed generation.
-func (s *Store) loadGeneration(gen uint64) (*Ensemble, error) {
+func (s *Store) loadGeneration(gen uint64) (*Ensemble, *GenerationManifest, error) {
 	dir := filepath.Join(s.dir, generationsDir, genDirName(gen))
-	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	man, err := readManifest(filepath.Join(dir, manifestName))
 	if err != nil {
-		return nil, fmt.Errorf("read manifest: %w", err)
-	}
-	var man manifest
-	if err := json.Unmarshal(data, &man); err != nil {
-		return nil, fmt.Errorf("parse manifest: %w", err)
+		return nil, nil, err
 	}
 	if man.Generation != 0 && man.Generation != gen {
-		return nil, fmt.Errorf("manifest generation %d does not match directory %d", man.Generation, gen)
+		return nil, nil, fmt.Errorf("manifest generation %d does not match directory %d", man.Generation, gen)
 	}
 	e := &Ensemble{}
 	for _, entry := range man.Models {
 		raw, err := os.ReadFile(filepath.Join(dir, entry.File))
 		if err != nil {
-			return nil, fmt.Errorf("read model %s: %w", entry.Name, err)
+			return nil, nil, fmt.Errorf("read model %s: %w", entry.Name, err)
 		}
 		if entry.SHA256 != "" {
 			sum := sha256.Sum256(raw)
 			if got := hex.EncodeToString(sum[:]); got != entry.SHA256 {
-				return nil, fmt.Errorf("model %s: checksum mismatch (manifest %s…, file %s…)",
+				return nil, nil, fmt.Errorf("model %s: checksum mismatch (manifest %s…, file %s…)",
 					entry.Name, entry.SHA256[:12], got[:12])
 			}
 		}
 		m, err := LoadModel(entry.Name, entry.Kind, bytes.NewReader(raw))
 		if err != nil {
-			return nil, fmt.Errorf("load model %s: %w", entry.Name, err)
+			return nil, nil, fmt.Errorf("load model %s: %w", entry.Name, err)
 		}
 		e.Models = append(e.Models, m)
 	}
 	if len(e.Models) == 0 {
-		return nil, fmt.Errorf("generation %d holds no models", gen)
+		return nil, nil, fmt.Errorf("generation %d holds no models", gen)
 	}
-	return e, nil
+	return e, man, nil
+}
+
+// readManifest reads and parses one manifest.json.
+func readManifest(path string) (*GenerationManifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read manifest: %w", err)
+	}
+	var man GenerationManifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("parse manifest: %w", err)
+	}
+	return &man, nil
+}
+
+// CurrentGeneration resolves the generation a Load would prefer: CURRENT
+// when it names a committed generation, otherwise the newest committed one.
+// Zero (with ok=false) when the store holds no versioned generations.
+func (s *Store) CurrentGeneration() (gen uint64, ok bool) {
+	gens, err := s.Generations()
+	if err != nil || len(gens) == 0 {
+		return 0, false
+	}
+	if cur, curOK := s.current(); curOK {
+		for _, g := range gens {
+			if g == cur {
+				return cur, true
+			}
+		}
+	}
+	return gens[len(gens)-1], true
+}
+
+// Manifest reads one committed generation's manifest. It is the first half
+// of the replication fetch protocol: a follower downloads this listing,
+// then each named file, and verifies the SHA256s before committing.
+func (s *Store) Manifest(gen uint64) (*GenerationManifest, error) {
+	man, err := readManifest(filepath.Join(s.dir, generationsDir, genDirName(gen), manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("core: generation %d: %w", gen, err)
+	}
+	return man, nil
+}
+
+// OpenModelFile opens one model file of a committed generation for
+// streaming. file must exactly match a manifest entry's File field — any
+// other name (in particular anything with a path separator) is refused, so
+// the replication endpoint cannot be walked out of the generation
+// directory.
+func (s *Store) OpenModelFile(gen uint64, file string) (io.ReadCloser, error) {
+	man, err := s.Manifest(gen)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range man.Models {
+		if e.File == file {
+			f, err := os.Open(filepath.Join(s.dir, generationsDir, genDirName(gen), file))
+			if err != nil {
+				return nil, fmt.Errorf("core: open model file: %w", err)
+			}
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("core: generation %d has no model file %q", gen, file)
+}
+
+// LoadGeneration verifies (checksums recomputed) and decodes one specific
+// committed generation, returning its manifest alongside the models.
+func (s *Store) LoadGeneration(gen uint64) (*Ensemble, *GenerationManifest, error) {
+	e, man, err := s.loadGeneration(gen)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: generation %d: %w", gen, err)
+	}
+	return e, man, nil
+}
+
+// ImportGeneration commits a generation replicated from a peer. man is the
+// peer's manifest; fetch opens each named model file (typically an HTTP GET
+// against the peer's /api/v1/generations/{id}/files/{file}). Every file is
+// streamed into a temp directory while its SHA-256 is recomputed, and a
+// mismatch against the manifest — a torn transfer, a corrupt peer, bit rot
+// in flight — aborts the import before anything is committed: the rename
+// that makes the generation visible only happens after every checksum
+// verified. The committed generation number is local (the peer's number
+// when the local history hasn't passed it, the next free number otherwise);
+// the manifest is rewritten to match, which leaves the fingerprint — the
+// content identity replication converges on — untouched.
+func (s *Store) ImportGeneration(man *GenerationManifest, fetch func(file string) (io.ReadCloser, error)) (uint64, error) {
+	if len(man.Models) == 0 {
+		return 0, fmt.Errorf("core: import: peer manifest holds no models")
+	}
+	for _, e := range man.Models {
+		if e.SHA256 == "" {
+			return 0, fmt.Errorf("core: import: model %s has no checksum; an unverifiable generation cannot be replicated", e.Name)
+		}
+	}
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	gensRoot := filepath.Join(s.dir, generationsDir)
+	if err := os.MkdirAll(gensRoot, 0o755); err != nil {
+		return 0, fmt.Errorf("core: create registry dir: %w", err)
+	}
+	gens, err := s.Generations()
+	if err != nil {
+		return 0, err
+	}
+	target := uint64(1)
+	if len(gens) > 0 {
+		target = gens[len(gens)-1] + 1
+	}
+	if cur, ok := s.current(); ok && cur >= target {
+		target = cur + 1
+	}
+	// Adopt the peer's number when it is ahead of local history, so fleet
+	// generation counters converge instead of drifting apart one import at
+	// a time.
+	if man.Generation > target {
+		target = man.Generation
+	}
+	tmpDir := filepath.Join(gensRoot, tmpPrefix+genDirName(target))
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return 0, fmt.Errorf("core: create temp generation: %w", err)
+	}
+	// Any exit before the commit rename leaves only this temp directory,
+	// which the next save sweeps; a torn transfer can never be activated.
+	defer os.RemoveAll(tmpDir)
+	local := GenerationManifest{Generation: target, Models: man.Models}
+	for _, entry := range man.Models {
+		if err := s.step(StepModelWrite, filepath.Join(tmpDir, entry.File)); err != nil {
+			return 0, err
+		}
+		if err := fetchVerified(tmpDir, entry, fetch); err != nil {
+			return 0, err
+		}
+	}
+	manPath := filepath.Join(tmpDir, manifestName)
+	if err := s.step(StepManifestWrite, manPath); err != nil {
+		return 0, err
+	}
+	data, err := json.MarshalIndent(&local, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	if err := writeFileSync(manPath, data); err != nil {
+		return 0, fmt.Errorf("core: write manifest: %w", err)
+	}
+	genPath := filepath.Join(gensRoot, genDirName(target))
+	if err := s.step(StepGenCommit, genPath); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmpDir, genPath); err != nil {
+		return 0, fmt.Errorf("core: commit generation %d: %w", target, err)
+	}
+	syncDir(gensRoot)
+	curPath := filepath.Join(s.dir, currentName)
+	if err := s.step(StepCurrentCommit, curPath); err != nil {
+		return 0, err
+	}
+	tmpCur := curPath + ".tmp"
+	if err := writeFileSync(tmpCur, []byte(strconv.FormatUint(target, 10)+"\n")); err != nil {
+		return 0, fmt.Errorf("core: write CURRENT: %w", err)
+	}
+	if err := os.Rename(tmpCur, curPath); err != nil {
+		return 0, fmt.Errorf("core: commit CURRENT: %w", err)
+	}
+	syncDir(s.dir)
+	s.prune(target)
+	return target, nil
+}
+
+// fetchVerified streams one replicated model file into dir, fsyncs it, and
+// fails on any checksum mismatch against the manifest entry.
+func fetchVerified(dir string, entry ManifestEntry, fetch func(file string) (io.ReadCloser, error)) error {
+	if entry.File == "" || strings.ContainsAny(entry.File, "/\\") || entry.File == "." || entry.File == ".." {
+		return fmt.Errorf("core: import: model %s has hostile file name %q", entry.Name, entry.File)
+	}
+	src, err := fetch(entry.File)
+	if err != nil {
+		return fmt.Errorf("core: import: fetch %s: %w", entry.File, err)
+	}
+	defer src.Close()
+	dst, err := os.Create(filepath.Join(dir, entry.File))
+	if err != nil {
+		return fmt.Errorf("core: import: create %s: %w", entry.File, err)
+	}
+	h := sha256.New()
+	_, cpErr := io.Copy(io.MultiWriter(dst, h), src)
+	if cpErr != nil {
+		dst.Close()
+		return fmt.Errorf("core: import: stream %s: %w", entry.File, cpErr)
+	}
+	if err := dst.Sync(); err != nil {
+		dst.Close()
+		return fmt.Errorf("core: import: sync %s: %w", entry.File, err)
+	}
+	if err := dst.Close(); err != nil {
+		return err
+	}
+	if got := hex.EncodeToString(h.Sum(nil)); got != entry.SHA256 {
+		return fmt.Errorf("core: import: model %s checksum mismatch (manifest %s…, transfer %s…): torn or corrupt transfer",
+			entry.Name, entry.SHA256[:12], got[:12])
+	}
+	return nil
 }
 
 // loadFlat reads the pre-versioning flat layout (no checksums).
@@ -415,7 +644,7 @@ func loadFlat(dir string) (*Ensemble, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: read manifest: %w", err)
 	}
-	var man manifest
+	var man GenerationManifest
 	if err := json.Unmarshal(data, &man); err != nil {
 		return nil, fmt.Errorf("core: parse manifest: %w", err)
 	}

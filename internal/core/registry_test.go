@@ -314,7 +314,7 @@ func TestStoreStructurallyCorruptModelFallsBack(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var man manifest
+	var man GenerationManifest
 	if err := json.Unmarshal(data, &man); err != nil {
 		t.Fatal(err)
 	}

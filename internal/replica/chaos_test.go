@@ -1,0 +1,169 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/hpc-repro/aiio/internal/core"
+)
+
+// TestChaosReplicaKillMidFlood is the multi-replica chaos drill: a router
+// over three real replicas takes a concurrent flood while one replica is
+// killed mid-flood (connections severed, listener closed — the in-process
+// equivalent of kill -9). The invariants:
+//
+//   - no lost requests: every response is a 200 or an admission-layer shed
+//     (429/503); a request in flight on the killed replica is replayed
+//     against the ring successor, never surfaced as a transport error;
+//   - no stale serves: every 200 carries the fleet's one good generation
+//     fingerprint;
+//   - convergence: the router marks the dead member down and keeps serving
+//     on the survivors.
+func TestChaosReplicaKillMidFlood(t *testing.T) {
+	models := ensemble(t)
+	dir := t.TempDir()
+	var reps []*testReplica
+	var urls []string
+	for i := 0; i < 3; i++ {
+		r := newReplica(t, filepath.Join(dir, fmt.Sprintf("rep%d", i)), models)
+		reps = append(reps, r)
+		urls = append(urls, r.URL())
+	}
+	wantFp := reps[0].WS.GenerationReport().Fingerprint
+	if wantFp == "" {
+		t.Fatal("fixture has no generation fingerprint")
+	}
+
+	rt := NewRouter(RouterConfig{Replicas: urls, FailThreshold: 1})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// A handful of distinct jobs so every replica owns some traffic.
+	var bodies [][]byte
+	for i := 0; i < 6; i++ {
+		bodies = append(bodies, recordBody(t, testRecord(t, 16+i)))
+	}
+
+	const (
+		clients        = 8
+		perClient      = 12
+		killAfterTotal = 16 // requests completed before the kill fires
+	)
+	var (
+		done      atomic.Int64
+		killOnce  sync.Once
+		ok        atomic.Int64
+		shed      atomic.Int64
+		transport atomic.Int64
+		stale     atomic.Int64
+		other     atomic.Int64
+	)
+	victim := reps[0]
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if done.Add(1) == killAfterTotal {
+					killOnce.Do(func() {
+						victim.HTTP.CloseClientConnections()
+						victim.HTTP.Close()
+					})
+				}
+				body := bodies[(c+i)%len(bodies)]
+				resp, err := http.Post(front.URL+"/api/v1/diagnose", "text/plain", bytes.NewReader(body))
+				if err != nil {
+					transport.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					if resp.Header.Get("X-AIIO-Fingerprint") != wantFp {
+						stale.Add(1)
+					} else {
+						ok.Add(1)
+					}
+				case resp.StatusCode == http.StatusTooManyRequests ||
+					resp.StatusCode == http.StatusServiceUnavailable:
+					shed.Add(1)
+				default:
+					other.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	total := int64(clients * perClient)
+	t.Logf("flood: %d ok, %d shed, %d transport errors, %d stale, %d other of %d",
+		ok.Load(), shed.Load(), transport.Load(), stale.Load(), other.Load(), total)
+	if stale.Load() != 0 {
+		t.Errorf("%d stale-generation serves — scale-out traded freshness for throughput", stale.Load())
+	}
+	if transport.Load() != 0 {
+		t.Errorf("%d client-visible transport errors — the router must absorb the kill by replaying", transport.Load())
+	}
+	if other.Load() != 0 {
+		t.Errorf("%d responses outside {200, 429, 503}", other.Load())
+	}
+	if ok.Load() < total/2 {
+		t.Errorf("only %d/%d requests served — shed beyond any reasonable budget", ok.Load(), total)
+	}
+
+	// Router convergence: the victim is marked down, the survivors serve.
+	rt.Probe(context.Background())
+	healthyLeft := 0
+	for _, m := range rt.Health() {
+		if m.URL == victim.URL() && m.Healthy {
+			t.Error("killed replica still marked healthy after flood + probe")
+		}
+		if m.Healthy {
+			healthyLeft++
+		}
+	}
+	if healthyLeft != 2 {
+		t.Errorf("%d healthy members after the kill, want 2", healthyLeft)
+	}
+
+	// Fleet convergence after the kill: commit new content on one survivor,
+	// sync the other, and verify both serve the new fingerprint through the
+	// router.
+	subset := &core.Ensemble{Models: models.Models[:1]}
+	if _, err := reps[1].Store.Save(subset); err != nil {
+		t.Fatal(err)
+	}
+	ens, rep, err := reps[1].Store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reps[1].WS.AdoptGeneration(ens, rep); err != nil {
+		t.Fatal(err)
+	}
+	adopted, err := syncerFor(reps[2], reps[1].URL()).SyncOnce(context.Background())
+	if err != nil || !adopted {
+		t.Fatalf("survivor sync: adopted=%v err=%v", adopted, err)
+	}
+	for i := 0; i < 10; i++ {
+		resp, err := http.Post(front.URL+"/api/v1/diagnose", "text/plain", bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			t.Fatalf("post-convergence request: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		fp := resp.Header.Get("X-AIIO-Fingerprint")
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && fp != rep.Fingerprint {
+			t.Fatalf("request %d served fingerprint %.12s after the fleet converged on %.12s", i, fp, rep.Fingerprint)
+		}
+	}
+}

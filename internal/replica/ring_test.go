@@ -1,0 +1,106 @@
+package replica
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	a := NewRing([]string{"http://a", "http://b", "http://c"}, 64)
+	b := NewRing([]string{"http://c", "http://a", "http://b", "http://a"}, 64)
+	if !reflect.DeepEqual(a.Members(), b.Members()) {
+		t.Fatalf("member lists differ: %v vs %v", a.Members(), b.Members())
+	}
+	for key := uint64(0); key < 10000; key += 37 {
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %d: owner %q vs %q — ring not order-independent", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingDistributionRoughlyFair(t *testing.T) {
+	members := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := NewRing(members, DefaultVirtualNodes)
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(Key([]byte(fmt.Sprintf("job-%d", i))))]++
+	}
+	want := n / len(members)
+	for _, m := range members {
+		got := counts[m]
+		// 128 vnodes keeps shares within a few percent of fair; allow ±40%
+		// so the test asserts balance without being hash-brittle.
+		if got < want*6/10 || got > want*14/10 {
+			t.Errorf("member %s owns %d of %d keys (fair share %d)", m, got, n, want)
+		}
+	}
+}
+
+func TestRingRemovalMovesOnlyVictimKeys(t *testing.T) {
+	full := NewRing([]string{"http://a", "http://b", "http://c", "http://d"}, DefaultVirtualNodes)
+	reduced := NewRing([]string{"http://a", "http://b", "http://d"}, DefaultVirtualNodes)
+	moved, victim := 0, 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		key := Key([]byte(fmt.Sprintf("job-%d", i)))
+		before, after := full.Owner(key), reduced.Owner(key)
+		if before == "http://c" {
+			victim++
+			continue
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed member changed owner (consistent hashing must move only the victim's buckets)", moved)
+	}
+	if victim == 0 {
+		t.Fatal("removed member owned no keys; distribution test is broken")
+	}
+}
+
+func TestRingSequenceIsFailoverOrder(t *testing.T) {
+	r := NewRing([]string{"http://a", "http://b", "http://c"}, DefaultVirtualNodes)
+	for i := 0; i < 1000; i++ {
+		key := Key([]byte(fmt.Sprintf("job-%d", i)))
+		seq := r.Sequence(key)
+		if len(seq) != 3 {
+			t.Fatalf("sequence covers %d of 3 members", len(seq))
+		}
+		if seq[0] != r.Owner(key) {
+			t.Fatalf("sequence head %q is not the owner %q", seq[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("sequence repeats member %q", m)
+			}
+			seen[m] = true
+		}
+		// Failover consistency: dropping the owner re-homes the key to the
+		// next member of the full ring's sequence.
+		rest := []string{}
+		for _, m := range r.Members() {
+			if m != seq[0] {
+				rest = append(rest, m)
+			}
+		}
+		if got := NewRing(rest, DefaultVirtualNodes).Owner(key); got != seq[1] {
+			t.Fatalf("after owner removal key maps to %q, sequence promised %q", got, seq[1])
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(nil, 8)
+	if empty.Owner(42) != "" || empty.Sequence(42) != nil || empty.Len() != 0 {
+		t.Error("empty ring must own nothing")
+	}
+	one := NewRing([]string{"http://solo"}, 8)
+	if one.Owner(42) != "http://solo" || len(one.Sequence(42)) != 1 {
+		t.Error("single-member ring must own everything")
+	}
+}

@@ -1,0 +1,213 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+)
+
+// postBody posts one buffered job body through a router handler's test
+// server and returns the response (body drained and closed).
+func postBody(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url+"/api/v1/diagnose", "text/plain", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("post through router: %v", err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestRouterCacheAffinity is the satellite coverage: the same job key
+// routed twice through the ring must land on the same replica and hit its
+// LRU the second time, and removing that replica must re-route the key
+// deterministically to its ring successor.
+func TestRouterCacheAffinity(t *testing.T) {
+	models := ensemble(t)
+	dir := t.TempDir()
+	var reps []*testReplica
+	var urls []string
+	for i := 0; i < 3; i++ {
+		r := newReplica(t, filepath.Join(dir, fmt.Sprintf("rep%d", i)), models)
+		reps = append(reps, r)
+		urls = append(urls, r.URL())
+	}
+	rt := NewRouter(RouterConfig{Replicas: urls, FailThreshold: 1})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	body := recordBody(t, testRecord(t, 16))
+	first := postBody(t, front.URL, body)
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("first diagnose: HTTP %d", first.StatusCode)
+	}
+	owner := first.Header.Get("X-AIIO-Replica")
+	if first.Header.Get("X-AIIO-Cache") != "miss" {
+		t.Errorf("first serve of a cold job: X-AIIO-Cache=%q, want miss", first.Header.Get("X-AIIO-Cache"))
+	}
+
+	second := postBody(t, front.URL, body)
+	if got := second.Header.Get("X-AIIO-Replica"); got != owner {
+		t.Fatalf("repeat of the same job routed to %s, first went to %s — affinity broken", got, owner)
+	}
+	if second.Header.Get("X-AIIO-Cache") != "hit" {
+		t.Errorf("repeat on the owner replica: X-AIIO-Cache=%q, want hit (the affinity cache win)",
+			second.Header.Get("X-AIIO-Cache"))
+	}
+
+	// The re-route after removal must be deterministic: the ring's failover
+	// sequence names the successor in advance.
+	seq := rt.ring.Load().Sequence(Key(body))
+	if seq[0] != owner {
+		t.Fatalf("ring owner %s but serving replica was %s", seq[0], owner)
+	}
+	successor := seq[1]
+	for _, r := range reps {
+		if r.URL() == owner {
+			r.HTTP.CloseClientConnections()
+			r.HTTP.Close()
+		}
+	}
+	for i := 0; i < 3; i++ {
+		resp := postBody(t, front.URL, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-removal request %d: HTTP %d", i, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-AIIO-Replica"); got != successor {
+			t.Fatalf("post-removal request %d landed on %s, ring successor is %s", i, got, successor)
+		}
+	}
+	// FailThreshold 1: the first transport error already removed the dead
+	// member, so later requests route straight to the successor.
+	if rt.ring.Load().Len() != 2 {
+		t.Errorf("ring still has %d members after owner died", rt.ring.Load().Len())
+	}
+}
+
+// TestRouterShedFailover: a 429 from the owner re-routes the request to
+// the ring successor without a health penalty.
+func TestRouterShedFailover(t *testing.T) {
+	shedding := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"shed"}`)
+	}))
+	defer shedding.Close()
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer ok.Close()
+
+	rt := NewRouter(RouterConfig{Replicas: []string{shedding.URL, ok.URL}})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// Whichever member owns the key, the answer must come from the healthy
+	// one; when the shedder owned it, the router must record a failover.
+	resp := postBody(t, front.URL, []byte("job-body"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d, want 200 via failover", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-AIIO-Replica"); got != ok.URL {
+		t.Fatalf("served by %s, want the non-shedding member %s", got, ok.URL)
+	}
+	for _, m := range rt.Health() {
+		if !m.Healthy {
+			t.Errorf("member %s marked unhealthy after an HTTP-level 429 — shed must not be a health penalty", m.URL)
+		}
+	}
+}
+
+// TestRouterAllShedRelaysLastResponse: when every candidate sheds, the
+// client gets the upstream 429 (with its Retry-After) rather than a
+// synthesized error.
+func TestRouterAllShedRelaysLastResponse(t *testing.T) {
+	mk := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"shed"}`)
+		}))
+	}
+	a, b := mk(), mk()
+	defer a.Close()
+	defer b.Close()
+	rt := NewRouter(RouterConfig{Replicas: []string{a.URL, b.URL}})
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp := postBody(t, front.URL, []byte("job"))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("HTTP %d, want relayed 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "2" {
+		t.Errorf("Retry-After %q not relayed", resp.Header.Get("Retry-After"))
+	}
+	if resp.Header.Get("X-AIIO-Router-Attempts") != "2" {
+		t.Errorf("attempts header %q, want 2", resp.Header.Get("X-AIIO-Router-Attempts"))
+	}
+}
+
+// TestRouterProbeGating: the /readyz probe takes a dead member off the
+// ring and restores it on recovery.
+func TestRouterProbeGating(t *testing.T) {
+	var ready bool
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/readyz" && !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer flaky.Close()
+	steady := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer steady.Close()
+
+	rt := NewRouter(RouterConfig{Replicas: []string{flaky.URL, steady.URL}, FailThreshold: 2})
+	ctx := context.Background()
+	rt.Probe(ctx)
+	if rt.ring.Load().Len() != 2 {
+		t.Fatalf("one failed probe (threshold 2) already removed a member")
+	}
+	rt.Probe(ctx)
+	if rt.ring.Load().Len() != 1 {
+		t.Fatalf("two consecutive failed probes did not remove the member: ring has %d", rt.ring.Load().Len())
+	}
+	ready = true
+	rt.Probe(ctx)
+	if rt.ring.Load().Len() != 2 {
+		t.Fatalf("recovered member not restored: ring has %d", rt.ring.Load().Len())
+	}
+}
+
+// TestRouterNoHealthyMembers: a ringless router answers 503, not a panic.
+func TestRouterNoHealthyMembers(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	url := dead.URL
+	dead.Close()
+	rt := NewRouter(RouterConfig{Replicas: []string{url}, FailThreshold: 1})
+	rt.Probe(context.Background())
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp := postBody(t, front.URL, []byte("job"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("HTTP %d, want 503 with no healthy replicas", resp.StatusCode)
+	}
+	r2, err := http.Get(front.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz HTTP %d, want 503", r2.StatusCode)
+	}
+}

@@ -1,0 +1,238 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"github.com/hpc-repro/aiio/internal/core"
+)
+
+// DefaultSyncInterval paces the background generation-replication sweep.
+const DefaultSyncInterval = 5 * time.Second
+
+// peerSummary mirrors webservice.GenerationSummary, decoded from a peer's
+// GET /api/v1/generations. Declared locally so the replica package depends
+// only on core (webservice imports nothing from here, and a cycle would be
+// the alternative).
+type peerSummary struct {
+	Generation  uint64 `json:"generation"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Syncer pulls committed model-registry generations from peer replicas and
+// hands fully verified sets to OnAdopt for hot-swap. Replication is
+// pull-based and leaderless: every replica polls every peer, and the
+// adoption rule below makes the fleet converge on the newest content no
+// matter which replica an upload or retrain landed on.
+//
+// A generation is adopted from a peer iff
+//
+//	peerGen > localGen and the content fingerprints differ, or
+//	peerGen == localGen and the peer's fingerprint sorts strictly higher
+//
+// The first clause is ordinary catch-up (a fingerprint match at a higher
+// number means the peer renumbered identical content — nothing to fetch).
+// The second breaks the split-brain tie when two replicas committed
+// different content under the same number: both sides pick the
+// lexicographically higher fingerprint, so they converge instead of
+// ping-ponging. ImportGeneration commits the fetched set under
+// max(localNext, peerGen), so numbers converge along with content.
+type Syncer struct {
+	// Store is the local model registry the fetched generations land in.
+	Store *core.Store
+	// Peers are the other replicas' base URLs (the local replica may be
+	// included; it is skipped by the fingerprint match).
+	Peers []string
+	// Interval paces Run's sweep (DefaultSyncInterval when <= 0).
+	Interval time.Duration
+	// HTTP performs the fetches (http.DefaultClient when nil).
+	HTTP *http.Client
+	// Current reports the serving generation and fingerprint (the
+	// webservice's GenerationReport, decoupled from its type). Required.
+	Current func() (gen uint64, fingerprint string)
+	// OnAdopt receives each imported-and-reloaded generation for hot-swap
+	// (the webservice's AdoptGeneration seam). An error refuses the swap;
+	// the import stays on disk but the old set keeps serving. Required.
+	OnAdopt func(ens *core.Ensemble, gen uint64, fingerprint string) error
+	// Logf, when set, narrates adoptions and fetch failures.
+	Logf func(format string, args ...any)
+}
+
+func (sy *Syncer) client() *http.Client {
+	if sy.HTTP != nil {
+		return sy.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (sy *Syncer) logf(format string, args ...any) {
+	if sy.Logf != nil {
+		sy.Logf(format, args...)
+	}
+}
+
+// Run sweeps the peer list on the configured interval until ctx is done.
+func (sy *Syncer) Run(ctx context.Context) {
+	interval := sy.Interval
+	if interval <= 0 {
+		interval = DefaultSyncInterval
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if _, err := sy.SyncOnce(ctx); err != nil {
+				sy.logf("replica sync: %v", err)
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// SyncOnce polls every peer once, adopting at most one generation (the
+// first peer that wins the adoption rule; the next sweep catches anything
+// newer). It returns whether an adoption happened. Unreachable peers are
+// skipped, not fatal: replication must keep working while part of the
+// fleet is down.
+func (sy *Syncer) SyncOnce(ctx context.Context) (adopted bool, err error) {
+	if sy.Store == nil || sy.Current == nil || sy.OnAdopt == nil {
+		return false, fmt.Errorf("replica: syncer missing Store, Current, or OnAdopt")
+	}
+	var firstErr error
+	for _, peer := range sy.Peers {
+		sum, perr := sy.fetchSummary(ctx, peer)
+		if perr != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("peer %s: %w", peer, perr)
+			}
+			continue
+		}
+		localGen, localFp := sy.Current()
+		if !shouldAdopt(localGen, localFp, sum.Generation, sum.Fingerprint) {
+			continue
+		}
+		if aerr := sy.adopt(ctx, peer, sum); aerr != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("peer %s: adopt generation %d: %w", peer, sum.Generation, aerr)
+			}
+			continue
+		}
+		return true, nil
+	}
+	return false, firstErr
+}
+
+// shouldAdopt is the convergence rule (see the Syncer doc).
+func shouldAdopt(localGen uint64, localFp string, peerGen uint64, peerFp string) bool {
+	if peerFp == "" || peerFp == localFp {
+		// No content identity (legacy checksumless peer) or identical
+		// content: nothing to replicate.
+		return false
+	}
+	if peerGen > localGen {
+		return true
+	}
+	return peerGen == localGen && peerFp > localFp
+}
+
+// adopt fetches one peer generation — manifest, then every model file,
+// each SHA-256-verified by ImportGeneration during the stream — commits it
+// locally, re-loads the committed copy, and hands it to OnAdopt. Every
+// failure path leaves the serving set untouched: a torn transfer dies in
+// the import's temp directory, and a probe failure refuses the swap after
+// the (valid) import.
+func (sy *Syncer) adopt(ctx context.Context, peer string, sum peerSummary) error {
+	man, err := sy.fetchManifest(ctx, peer, sum.Generation)
+	if err != nil {
+		return err
+	}
+	if fp := man.Fingerprint(); fp != sum.Fingerprint {
+		// The peer committed a newer generation between the summary and the
+		// manifest fetch; the next sweep sees the settled state.
+		return fmt.Errorf("manifest fingerprint %.12s does not match advertised %.12s (peer mid-commit?)", fp, sum.Fingerprint)
+	}
+	gen, err := sy.Store.ImportGeneration(man, func(file string) (io.ReadCloser, error) {
+		return sy.fetchFile(ctx, peer, sum.Generation, file)
+	})
+	if err != nil {
+		return err
+	}
+	// Reload from the local committed copy — never from transfer buffers —
+	// so what serves is exactly what was verified onto disk.
+	ens, localMan, err := sy.Store.LoadGeneration(gen)
+	if err != nil {
+		return fmt.Errorf("reload imported generation %d: %w", gen, err)
+	}
+	fp := localMan.Fingerprint()
+	if err := sy.OnAdopt(ens, gen, fp); err != nil {
+		return err
+	}
+	sy.logf("replica sync: adopted generation %d (fingerprint %.12s) from %s", gen, fp, peer)
+	return nil
+}
+
+func (sy *Syncer) fetchSummary(ctx context.Context, peer string) (peerSummary, error) {
+	var sum peerSummary
+	err := sy.getJSON(ctx, peer+"/api/v1/generations", &sum)
+	return sum, err
+}
+
+func (sy *Syncer) fetchManifest(ctx context.Context, peer string, gen uint64) (*core.GenerationManifest, error) {
+	var man core.GenerationManifest
+	if err := sy.getJSON(ctx, fmt.Sprintf("%s/api/v1/generations/%d", peer, gen), &man); err != nil {
+		return nil, err
+	}
+	return &man, nil
+}
+
+func (sy *Syncer) fetchFile(ctx context.Context, peer string, gen uint64, file string) (io.ReadCloser, error) {
+	u := fmt.Sprintf("%s/api/v1/generations/%d/files/%s", peer, gen, url.PathEscape(file))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := sy.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("GET %s: %s", u, resp.Status)
+	}
+	return resp.Body, nil
+}
+
+func (sy *Syncer) getJSON(ctx context.Context, u string, into any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := sy.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("GET %s: %s", u, resp.Status)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(into); err != nil {
+		return fmt.Errorf("GET %s: decode: %w", u, err)
+	}
+	return nil
+}
+
+// writeJSON is the router's response encoder (small bodies; no pooling
+// needed at router request rates — the replicas do the heavy serving).
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}

@@ -22,9 +22,12 @@ import (
 // does not reconverge in lockstep. Two admission-layer signals adjust
 // that:
 //
-//   - 429 (shed): retried, but the server's Retry-After hint replaces the
-//     computed backoff for the next attempt — the server knows its own
-//     load better than our exponential guess.
+//   - 429 (shed): retried after the server's Retry-After hint instead of
+//     the computed backoff — the server knows its own load better than our
+//     exponential guess — plus up to 50% random jitter. The jitter matters:
+//     a shedding server hands every refused client the SAME hint, and
+//     honoring it verbatim re-synchronizes the whole herd into a second
+//     stampede exactly one Retry-After later.
 //   - 503 with X-AIIO-Breaker: open: NOT retried. Every model's circuit
 //     breaker is open and will stay open for a cooldown; hammering the
 //     instance only delays its recovery.
@@ -43,6 +46,19 @@ const maxRetryAfter = 30 * time.Second
 // ErrBreakerOpen wraps a 503 carrying X-AIIO-Breaker: open. Callers can
 // errors.Is for it to route traffic elsewhere instead of retrying.
 var ErrBreakerOpen = errors.New("webservice: service circuit breakers open")
+
+// retryDelay computes the sleep before retry attempt (1-based). With a
+// server Retry-After hint it is hint plus up to 50% jitter — the spread
+// that keeps a herd of clients shed at the same instant from returning at
+// the same instant. Without a hint it is exponential backoff with full
+// jitter: uniform in [base·2^(attempt-1), 2·base·2^(attempt-1)).
+func retryDelay(attempt int, hint time.Duration) time.Duration {
+	if hint > 0 {
+		return hint + time.Duration(rand.Int63n(int64(hint)/2+1))
+	}
+	d := retryBase << (attempt - 1)
+	return d + time.Duration(rand.Int63n(int64(d)+1))
+}
 
 // retryAfterHint parses a 429/503 Retry-After header (delta-seconds form
 // only; the HTTP-date form is not worth the dependency), clamped to
@@ -78,11 +94,7 @@ func (c *Client) post(ctx context.Context, url, contentType string, body []byte)
 	var hint time.Duration // server-provided Retry-After for the next attempt
 	for attempt := 0; attempt < retryAttempts; attempt++ {
 		if attempt > 0 {
-			delay := hint
-			if delay <= 0 {
-				delay = retryBase << (attempt - 1)
-				delay += time.Duration(rand.Int63n(int64(delay) + 1)) // full jitter
-			}
+			delay := retryDelay(attempt, hint)
 			select {
 			case <-time.After(delay):
 			case <-ctx.Done():
@@ -222,8 +234,7 @@ func (c *Client) ModelsContext(ctx context.Context) ([]ModelInfo, error) {
 	var lastErr error
 	for attempt := 0; attempt < retryAttempts; attempt++ {
 		if attempt > 0 {
-			delay := retryBase << (attempt - 1)
-			delay += time.Duration(rand.Int63n(int64(delay) + 1))
+			delay := retryDelay(attempt, 0)
 			select {
 			case <-time.After(delay):
 			case <-ctx.Done():

@@ -1,0 +1,45 @@
+package webservice
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryDelayJittersHonoredHint: the thundering-herd fix. A shedding
+// server hands every refused client the same Retry-After; the computed
+// sleep must spread clients over [hint, 1.5·hint] instead of
+// re-synchronizing them at exactly hint.
+func TestRetryDelayJittersHonoredHint(t *testing.T) {
+	const hint = 2 * time.Second
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		d := retryDelay(1, hint)
+		if d < hint {
+			t.Fatalf("delay %v undercuts the server's hint %v", d, hint)
+		}
+		if d > hint+hint/2 {
+			t.Fatalf("delay %v exceeds hint + 50%% jitter (%v)", d, hint+hint/2)
+		}
+		seen[d] = true
+	}
+	// 200 draws over a 1s jitter range: collapsing to a handful of values
+	// means the herd is still synchronized.
+	if len(seen) < 50 {
+		t.Errorf("only %d distinct delays across 200 draws — Retry-After sleeps are not jittered", len(seen))
+	}
+}
+
+// TestRetryDelayBackoffWithoutHint: no hint falls back to exponential
+// backoff with full jitter in [base·2^(n-1), 2·base·2^(n-1)).
+func TestRetryDelayBackoffWithoutHint(t *testing.T) {
+	for attempt := 1; attempt <= 3; attempt++ {
+		lo := retryBase << (attempt - 1)
+		hi := 2 * lo
+		for i := 0; i < 100; i++ {
+			d := retryDelay(attempt, 0)
+			if d < lo || d > hi {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, lo, hi)
+			}
+		}
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"net/http"
 	"time"
 
-	"github.com/hpc-repro/aiio/internal/core"
 	"github.com/hpc-repro/aiio/internal/darshan"
 )
 
@@ -141,22 +140,14 @@ func (s *Server) TriggerRetrain() bool {
 			st.Err = err.Error()
 			return
 		}
-		// Probe the whole candidate set before it serves traffic — the
-		// trainer validates too, but the swap is the last line of defense.
-		for _, m := range ens.Models {
-			if perr := probeModel(m); perr != nil {
-				st.Err = fmt.Sprintf("retrained model %s failed validation, swap rolled back: %v", m.Name(), perr)
-				return
-			}
+		// AdoptGeneration probes the whole candidate set before it serves
+		// traffic — the trainer validates too, but the swap is the last
+		// line of defense — and stamps the generation fingerprint so
+		// replication peers see the retrain.
+		if aerr := s.AdoptGeneration(ens, s.storeReport(gen)); aerr != nil {
+			st.Err = fmt.Sprintf("retrained set swap rolled back: %v", aerr)
+			return
 		}
-		s.mu.Lock()
-		s.ens = ens
-		s.version++
-		if c := s.diagnosisCache(); c != nil {
-			c.purge()
-		}
-		s.mu.Unlock()
-		s.SetGeneration(&core.LoadReport{Generation: gen})
 		st.Generation = gen
 	}()
 	return true

@@ -7,13 +7,16 @@
 package webservice
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -125,6 +128,18 @@ type Server struct {
 	// freshly committed ensemble and its generation. Invoked single-flight
 	// from ingest; also reachable via TriggerRetrain.
 	Retrainer func(ctx context.Context) (*core.Ensemble, uint64, error)
+	// CoalesceWindow, when > 0, fuses single-job diagnose requests that
+	// arrive within the window into one DiagnoseBatch pass (duplicate jobs
+	// collapse to a single diagnosis fanned out to every caller). Set
+	// before the first request. See coalesce.go.
+	CoalesceWindow time.Duration
+	// CoalesceMax caps one fused batch (DefaultCoalesceMax when 0); a full
+	// batch dispatches without waiting out the window.
+	CoalesceMax int
+
+	// coalesceOnce pins the coalescer (or its absence) at first use.
+	coalesceOnce sync.Once
+	coal         *coalescer
 
 	// retrainBusy makes retraining single-flight: a trigger while one cycle
 	// is running is a no-op (the running cycle drains the same backlog).
@@ -209,6 +224,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/diagnose", s.admitted("diagnose", s.handleDiagnose))
 	mux.HandleFunc("/api/v1/diagnose/batch", s.admitted("batch", s.handleDiagnoseBatch))
 	mux.HandleFunc("/api/v1/jobs", s.admitted(IngestEndpoint, s.handleJobs))
+	mux.HandleFunc("/api/v1/generations", s.handleGenerations)
+	mux.HandleFunc("/api/v1/generations/", s.handleGenerationFetch)
 	return s.protect(mux)
 }
 
@@ -388,6 +405,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		hits, misses, size := c.stats()
 		body["cache"] = map[string]any{"hits": hits, "misses": misses, "size": size}
 	}
+	if co := s.coalescerIfEnabled(); co != nil {
+		batches, fused := co.stats()
+		body["coalesce"] = map[string]any{"batches": batches, "fused": fused}
+	}
 	if s.JobLog != nil {
 		st := s.JobLog.Stats()
 		body["joblog"] = map[string]any{
@@ -432,6 +453,18 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 
 // SetGeneration records the registry load report surfaced on /readyz.
 func (s *Server) SetGeneration(rep *core.LoadReport) { s.genReport.Store(rep) }
+
+// storeReport builds a load report for a just-committed generation,
+// fingerprinted from its on-disk manifest.
+func (s *Server) storeReport(gen uint64) *core.LoadReport {
+	rep := &core.LoadReport{Generation: gen}
+	if s.Store != nil {
+		if man, err := s.Store.Manifest(gen); err == nil {
+			rep.Fingerprint = man.Fingerprint()
+		}
+	}
+	return rep
+}
 
 // GenerationReport returns the current registry load report (nil when no
 // store is wired in).
@@ -522,7 +555,7 @@ func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
 			body["persist_error"] = err.Error()
 		} else {
 			body["generation"] = gen
-			s.SetGeneration(&core.LoadReport{Generation: gen})
+			s.SetGeneration(s.storeReport(gen))
 		}
 	}
 	writeJSON(w, http.StatusOK, body)
@@ -645,6 +678,7 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		bodyError(w, err)
 		return
 	}
+	s.stampGeneration(w)
 	// Diagnose against a lock-free snapshot so a concurrent model upload
 	// (write lock) never stalls behind, or waits on, in-flight SHAP work.
 	ens, opts, version := s.snapshot()
@@ -660,7 +694,34 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	}
 	var open []string
 	var allowed *core.Ensemble
-	if diag == nil {
+	switch {
+	case diag != nil:
+	case s.coalescerIfEnabled() != nil:
+		// Micro-batch path: park behind the coalescer; the fused batch
+		// does the snapshotting, breaker partition, outcome accounting,
+		// and cache fills (runCoalesced).
+		res, err := s.coal.submit(r.Context(), rec)
+		if err != nil {
+			switch {
+			case errors.Is(err, errAllBreakersOpen):
+				s.writeBreakerOpen(w)
+			case r.Context().Err() != nil:
+				s.writeUnavailable(w, err)
+			default:
+				httpError(w, http.StatusInternalServerError, fmt.Sprintf("diagnose: %v", err))
+			}
+			return
+		}
+		diag, allowed, open = res.diag, res.allowed, res.open
+		w.Header().Set("X-AIIO-Coalesced", strconv.Itoa(res.batched))
+		if cache != nil {
+			if res.fromCache {
+				w.Header().Set("X-AIIO-Cache", "hit")
+			} else if len(open) == 0 {
+				w.Header().Set("X-AIIO-Cache", "miss")
+			}
+		}
+	default:
 		var openNow []string
 		allowed, openNow = s.applyBreakers(ens)
 		open = openNow
@@ -733,6 +794,7 @@ func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "no records in request body")
 		return
 	}
+	s.stampGeneration(w)
 	ens, opts, version := s.snapshot()
 	cache := s.diagnosisCache()
 
@@ -844,10 +906,185 @@ func buildResponse(diag *core.Diagnosis) *DiagnosisResponse {
 	return resp
 }
 
+// stampGeneration advertises which model generation (and content
+// fingerprint) produced this response, so routers, replication syncers, and
+// chaos drills can assert freshness without a second round trip. A server
+// with no registry report (e.g. a bare NewServer in tests) stamps nothing.
+func (s *Server) stampGeneration(w http.ResponseWriter) {
+	if rep := s.genReport.Load(); rep != nil {
+		w.Header().Set("X-AIIO-Generation", strconv.FormatUint(rep.Generation, 10))
+		if rep.Fingerprint != "" {
+			w.Header().Set("X-AIIO-Fingerprint", rep.Fingerprint)
+		}
+	}
+}
+
+// AdoptGeneration hot-swaps a replicated (or freshly committed) model set
+// into the serving path with the same safeguards as a model upload: every
+// model is probe-validated first, and a failure leaves the old set serving
+// untouched. On success the version bumps (invalidating every cached
+// diagnosis), the cache is purged, the generation report goes live on
+// /readyz and the response headers, and each model's breaker is reset the
+// way a validated upload's is.
+func (s *Server) AdoptGeneration(ens *core.Ensemble, rep *core.LoadReport) error {
+	for _, m := range ens.Models {
+		if err := probeModel(m); err != nil {
+			return fmt.Errorf("webservice: adopt generation %d: model %s failed validation, swap refused: %w",
+				rep.Generation, m.Name(), err)
+		}
+	}
+	s.mu.Lock()
+	s.ens = ens
+	s.version++
+	if c := s.diagnosisCache(); c != nil {
+		c.purge()
+	}
+	s.mu.Unlock()
+	s.SetGeneration(rep)
+	if s.Breakers != nil {
+		for _, m := range ens.Models {
+			s.Breakers.For(m.Name()).Success()
+		}
+	}
+	return nil
+}
+
+// GenerationSummary is the JSON body of GET /api/v1/generations: the
+// replication handshake. Generation/Fingerprint describe the store's
+// CURRENT generation — what a follower can fetch from this replica —
+// while Serving* describe the in-memory set answering diagnoses (the two
+// differ only inside the commit-to-hot-swap window, or when persistence
+// failed).
+type GenerationSummary struct {
+	Generation         uint64   `json:"generation"`
+	Fingerprint        string   `json:"fingerprint,omitempty"`
+	Available          []uint64 `json:"available,omitempty"`
+	ServingGeneration  uint64   `json:"serving_generation"`
+	ServingFingerprint string   `json:"serving_fingerprint,omitempty"`
+}
+
+// handleGenerations answers the replication handshake. 501 without a
+// store: a store-less server has nothing a follower could fetch.
+func (s *Server) handleGenerations(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if s.Store == nil {
+		httpError(w, http.StatusNotImplemented, "no model store configured")
+		return
+	}
+	sum := GenerationSummary{}
+	if cur, ok := s.Store.CurrentGeneration(); ok {
+		sum.Generation = cur
+		if man, err := s.Store.Manifest(cur); err == nil {
+			sum.Fingerprint = man.Fingerprint()
+		}
+		sum.Available, _ = s.Store.Generations()
+	}
+	if rep := s.genReport.Load(); rep != nil {
+		sum.ServingGeneration = rep.Generation
+		sum.ServingFingerprint = rep.Fingerprint
+	}
+	writeJSON(w, http.StatusOK, &sum)
+}
+
+// handleGenerationFetch serves the transfer half of generation
+// replication:
+//
+//	GET /api/v1/generations/{id}              → manifest JSON
+//	GET /api/v1/generations/{id}/files/{file} → raw model bytes
+//
+// The file name must match a manifest entry exactly (Store.OpenModelFile
+// enforces it), so the endpoint cannot be walked outside the generation
+// directory. Followers verify each file's SHA-256 against the manifest
+// before anything is committed, so a torn or tampered transfer dies on the
+// follower, not here.
+func (s *Server) handleGenerationFetch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if s.Store == nil {
+		httpError(w, http.StatusNotImplemented, "no model store configured")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/api/v1/generations/")
+	parts := strings.Split(rest, "/")
+	gen, err := strconv.ParseUint(parts[0], 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad generation id %q", parts[0]))
+		return
+	}
+	switch {
+	case len(parts) == 1:
+		man, err := s.Store.Manifest(gen)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, man)
+	case len(parts) == 3 && parts[1] == "files":
+		f, err := s.Store.OpenModelFile(gen, parts[2])
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if _, err := io.Copy(w, f); err != nil {
+			// Headers are gone; the follower's checksum catches the torn
+			// body.
+			return
+		}
+	default:
+		httpError(w, http.StatusNotFound, "use /api/v1/generations/{id} or /api/v1/generations/{id}/files/{file}")
+	}
+}
+
+// encodeBuf pairs a reusable buffer with a json.Encoder bound to it, so
+// the per-response encoder allocation is pooled away along with the body
+// bytes.
+type encodeBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+// maxPooledEncodeBuf keeps outlier response bodies (a huge batch) from
+// pinning their capacity in the pool forever.
+const maxPooledEncodeBuf = 1 << 20
+
+var encodePool = sync.Pool{New: func() any {
+	eb := &encodeBuf{}
+	eb.enc = json.NewEncoder(&eb.buf)
+	return eb
+}}
+
+// writeJSON encodes v through a pooled buffer + encoder, so the steady
+// state of the handler path allocates no per-response encoding state, and
+// the response carries a Content-Length (the body is in hand before any
+// byte is written).
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	eb := encodePool.Get().(*encodeBuf)
+	eb.buf.Reset()
+	if err := eb.enc.Encode(v); err != nil {
+		// Encoding failed before anything was written: a structured 500
+		// is still possible (maps and the response structs here cannot
+		// actually fail, but a cycle in some future type must not hang
+		// the connection).
+		encodePool.Put(eb)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":"encode response: %v"}`, err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(eb.buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(eb.buf.Bytes())
+	if eb.buf.Cap() <= maxPooledEncodeBuf {
+		encodePool.Put(eb)
+	}
 }
 
 func httpError(w http.ResponseWriter, status int, msg string) {

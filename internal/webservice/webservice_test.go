@@ -24,7 +24,7 @@ var (
 	eErr error
 )
 
-func ensemble(t *testing.T) *core.Ensemble {
+func ensemble(t testing.TB) *core.Ensemble {
 	t.Helper()
 	once.Do(func() {
 		ds := logdb.Generate(logdb.GenConfig{Jobs: 500, Seed: 31})
