@@ -23,11 +23,24 @@
 //	                               deduplicated so retries are idempotent;
 //	                               -retrain-after N triggers a background
 //	                               incremental retrain + validated hot-swap)
+//	GET  /api/v1/drift             drift monitor status + lifecycle decision
+//	                               history (with -drift-psi)
 //	GET  /api/v1/generations       replication handshake: registry + serving
 //	                               generation and content fingerprint
 //	GET  /api/v1/generations/{id}  generation manifest JSON;
 //	     .../{id}/files/{file}     raw model bytes (SHA-256-verified by the
 //	                               pulling peer before hot-swap)
+//
+// With -drift-psi, every durably ingested job feeds a drift monitor: a
+// distribution shift (per-counter PSI against the serving generation's
+// reference snapshot) or a rolling prediction-error spike triggers the same
+// single-flight retrain the backlog threshold does. The retrain is
+// canary-gated (-canary-holdout): a candidate that cannot match the serving
+// ensemble on held-out jobs is never committed. With -rollback-ratio, each
+// auto-promotion is watched; if serving error spikes past the pre-promotion
+// baseline, the server rolls back to the previous generation durably
+// (registry CURRENT) and in memory (validated hot-swap). Every decision is
+// visible on GET /api/v1/drift, /healthz, and as diagnosis advisories.
 //
 // With -peers, the server pulls newer model generations from its peer
 // replicas every -sync-interval and hot-swaps them after verification, so
@@ -58,18 +71,57 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"github.com/hpc-repro/aiio/internal/admission"
 	"github.com/hpc-repro/aiio/internal/core"
+	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/drift"
 	"github.com/hpc-repro/aiio/internal/joblog"
 	"github.com/hpc-repro/aiio/internal/replica"
 	"github.com/hpc-repro/aiio/internal/shap"
 	"github.com/hpc-repro/aiio/internal/webservice"
 )
+
+// storeCrashEnv is the fault-injection hook for the CI chaos drill:
+// AIIO_STORE_CRASH=<step>:<n> kills the process (exit 3) the n-th time the
+// model registry reaches the named durable save step (model-write,
+// model-sync, manifest-write, gen-commit, current-commit) — a real process
+// death mid-promotion or mid-rollback, not a returned error, so restart
+// recovery is exercised against exactly the partial state a power cut
+// would leave.
+const storeCrashEnv = "AIIO_STORE_CRASH"
+
+func installStoreCrashHook(store *core.Store) {
+	spec := os.Getenv(storeCrashEnv)
+	if spec == "" {
+		return
+	}
+	step, countStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		log.Fatalf("aiio-server: %s must be <step>:<n>, got %q", storeCrashEnv, spec)
+	}
+	n, err := strconv.Atoi(countStr)
+	if err != nil || n < 1 {
+		log.Fatalf("aiio-server: %s count %q must be a positive integer", storeCrashEnv, countStr)
+	}
+	seen := 0
+	store.SetSaveHook(func(s, path string) error {
+		if s == step {
+			seen++
+			if seen >= n {
+				fmt.Fprintf(os.Stderr, "aiio-server: injected crash at %s (%s), occurrence %d\n", s, path, seen)
+				os.Exit(3)
+			}
+		}
+		return nil
+	})
+}
 
 func main() {
 	modelsDir := flag.String("models", "models", "model registry directory")
@@ -105,6 +157,8 @@ func main() {
 		"records per backlog drain mini-batch")
 	retrainFast := flag.Bool("retrain-fast", false,
 		"reduced training budgets for incremental retrains")
+	retrainModels := flag.String("retrain-models", "",
+		"comma-separated subset of models incremental retrains fit (default all)")
 	retrainWarm := flag.Bool("warm-start", true,
 		"seed incremental retrains from the previous generation on a reduced budget (per-model cold fallback on schema/drift)")
 	retrainWarmBudget := flag.Float64("warm-budget", core.DefaultWarmBudgetFrac,
@@ -119,9 +173,28 @@ func main() {
 		"comma-separated peer replica base URLs; enables pull-based model generation replication")
 	syncInterval := flag.Duration("sync-interval", replica.DefaultSyncInterval,
 		"how often to poll -peers for newer model generations")
+	driftPSI := flag.Float64("drift-psi", 0,
+		"PSI threshold that trips the input-distribution detector and triggers a canary-gated retrain (0 disables drift monitoring)")
+	driftMinSamples := flag.Int("drift-min-samples", 0,
+		"ingested jobs required in the live window before PSI is judged (0 = default 200)")
+	driftWindow := flag.Int("drift-window", 0,
+		"rotating live-window size in jobs for the PSI detector (0 = default 2000)")
+	driftErrorRatio := flag.Float64("drift-error-ratio", 0,
+		"rolling/baseline RMSE ratio that trips the prediction-error detector (0 = default 1.5)")
+	driftMinErrors := flag.Int("drift-min-errors", 0,
+		"labeled jobs required before the prediction-error detector is judged (0 = default 50)")
+	canaryHoldout := flag.Int("canary-holdout", 64,
+		"held-out jobs the canary gate judges a retrained candidate on before promotion (0 disables the gate; active with -drift-psi)")
+	canaryTolerance := flag.Float64("canary-tolerance", 0,
+		"fraction a candidate's holdout RMSE may exceed the serving ensemble's before the gate blocks it (0 = default 0.10)")
+	rollbackRatio := flag.Float64("rollback-ratio", 0,
+		"post-promotion rolling RMSE at or over this multiple of the pre-promotion baseline rolls back to the previous generation (0 disables)")
+	rollbackWatch := flag.Int("rollback-watch", 0,
+		"labeled jobs the post-promotion watch covers before a promotion is judged safe (0 = default 200)")
 	flag.Parse()
 
 	store := core.OpenStore(*modelsDir)
+	installStoreCrashHook(store)
 	ens, rep, err := store.Load()
 	if err != nil {
 		log.Fatalf("aiio-server: load models: %v", err)
@@ -166,6 +239,28 @@ func main() {
 			RetryAfter:  *retryAfter,
 		})
 	}
+	if *driftPSI > 0 {
+		ws.Drift = drift.New(drift.Config{
+			PSIThreshold: *driftPSI,
+			MinSamples:   *driftMinSamples,
+			Window:       *driftWindow,
+			ErrorRatio:   *driftErrorRatio,
+			MinErrors:    *driftMinErrors,
+		})
+		ws.RollbackRatio = *rollbackRatio
+		ws.RollbackWatch = *rollbackWatch
+		// Re-arm against the serving generation's persisted reference so a
+		// restart resumes watching the same world the generation was trained
+		// in; with no persisted reference the monitor self-arms from live
+		// traffic.
+		if data, err := store.Reference(rep.Generation); err == nil && data != nil {
+			if ref, perr := drift.ParseReference(data); perr == nil {
+				ws.Drift.SetReference(ref)
+				log.Printf("aiio-server: drift monitor armed from generation %d reference (%d jobs)",
+					rep.Generation, ref.Jobs)
+			}
+		}
+	}
 	if *joblogDir != "" {
 		jl, err := joblog.Open(*joblogDir, joblog.Options{})
 		if err != nil {
@@ -182,13 +277,37 @@ func main() {
 		topts.Fast = *retrainFast
 		topts.WarmStart = *retrainWarm
 		topts.WarmBudgetFrac = *retrainWarmBudget
+		if *retrainModels != "" {
+			topts.Models = strings.Split(*retrainModels, ",")
+		}
+		incOpts := core.IncrementalOptions{
+			MiniBatch: *retrainMinibatch,
+			Window:    *retrainWindow,
+			Train:     topts,
+		}
+		if ws.Drift != nil && *canaryHoldout > 0 {
+			// The canary gate: a retrained candidate must match the serving
+			// ensemble on held-out jobs before it is committed. The admitted
+			// generation carries a fresh drift reference built from its own
+			// training set, so the monitor always judges the serving world.
+			incOpts.Holdout = *canaryHoldout
+			incOpts.Gate = drift.Gate(drift.GateConfig{Tolerance: *canaryTolerance}, ws.ServingEnsemble)
+			incOpts.Reference = func(training []*darshan.Record, verdict *core.CanaryRecord) []byte {
+				ref := drift.BuildReference(training)
+				if verdict != nil {
+					ref.BaselineRMSE = verdict.CandidateRMSE
+				}
+				data, _ := ref.Marshal()
+				return data
+			}
+		}
 		ws.Retrainer = func(ctx context.Context) (*core.Ensemble, uint64, error) {
-			rep, err := core.RunIncremental(ctx, jl, store, core.IncrementalOptions{
-				MiniBatch: *retrainMinibatch,
-				Window:    *retrainWindow,
-				Train:     topts,
-			})
+			rep, err := core.RunIncremental(ctx, jl, store, incOpts)
 			if err != nil {
+				var blocked *core.CanaryBlockedError
+				if errors.As(err, &blocked) && blocked.Verdict != nil {
+					log.Printf("aiio-server: canary gate blocked retrained candidate: %s", blocked.Verdict.Reason)
+				}
 				return nil, 0, err
 			}
 			ens, _, err := store.Load()

@@ -11,6 +11,7 @@ import (
 
 	"github.com/hpc-repro/aiio/internal/core"
 	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/faults"
 	"github.com/hpc-repro/aiio/internal/joblog"
 	"github.com/hpc-repro/aiio/internal/logdb"
 	"github.com/hpc-repro/aiio/internal/report"
@@ -81,8 +82,13 @@ func cmdIngest(args []string) error {
 	seed := fs.Int64("seed", 1, "seed for -gen")
 	server := fs.String("server", "", "ship to a running aiio-server (base URL) instead of writing -joblog-dir")
 	batch := fs.Int("batch", 256, "records per durability barrier (local) or per request (-server)")
+	shift := fs.Float64("shift-scale", 1, "scale every counter and the performance tag by this integer factor before ingest (distribution-shift injection for drift drills)")
+	shiftID := fs.Int64("shift-id-offset", 1_000_000, "JobID offset applied with -shift-scale so shifted jobs are new jobs, not dedup retries")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *shift != 1 && (*shift < 1 || *shift != float64(int64(*shift))) {
+		return fmt.Errorf("ingest: -shift-scale must be a positive integer (scaling stays exact and shifted records still validate)")
 	}
 	if (*db == "") == (*gen == 0) {
 		return fmt.Errorf("ingest: exactly one of -db or -gen is required")
@@ -91,9 +97,19 @@ func cmdIngest(args []string) error {
 		*batch = 1
 	}
 
-	// Source: stream records one at a time so memory stays flat.
+	// Source: stream records one at a time so memory stays flat. A shift
+	// factor rewrites each record on the way through — the distribution
+	// moves, the linear invariants survive (see faults.ShiftRecord).
 	var recs []*darshan.Record
 	stream := func(yield func(*darshan.Record) bool) error {
+		if *shift != 1 {
+			inner := yield
+			yield = func(rec *darshan.Record) bool {
+				s := faults.ShiftRecord(rec, *shift)
+				s.JobID += *shiftID
+				return inner(s)
+			}
+		}
 		if *gen > 0 {
 			logdb.GenerateStream(logdb.GenConfig{Jobs: *gen, Seed: *seed}, yield)
 			return nil

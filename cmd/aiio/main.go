@@ -7,6 +7,7 @@
 //	aiio ingest    -joblog-dir joblog (-db db.darshan | -gen N) [-server URL] [-batch 256]
 //	aiio retrain   -joblog-dir joblog -models models/ [-minibatch 512] [-window 20000] [-fast]
 //	aiio joblog    -dir joblog [-compact]
+//	aiio quarantine <ls|show|purge> [-dir joblog] [-n index]
 //
 // gen-db simulates the historical I/O log database, train fits the five
 // performance functions, diagnose prints a job's bottleneck waterfall, and
@@ -54,6 +55,8 @@ func main() {
 		err = cmdRetrain(os.Args[2:])
 	case "joblog":
 		err = cmdJobLog(os.Args[2:])
+	case "quarantine":
+		err = cmdQuarantine(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -77,7 +80,8 @@ commands:
   experiment  regenerate the paper's tables and figures
   ingest      append jobs to the durable job log (or ship them to a server)
   retrain     incremental retrain: drain the job log into a new generation
-  joblog      job log statistics and compaction`)
+  joblog      job log statistics and compaction
+  quarantine  list, decode, or purge quarantined job records`)
 }
 
 func cmdGenDB(args []string) error {
@@ -160,11 +164,14 @@ func cmdTrain(args []string) error {
 
 // loadRegistry opens the versioned model store, surfacing rejected
 // (corrupt) generations and fallbacks on stderr so a degraded registry is
-// never mistaken for a healthy one.
-func loadRegistry(dir string) (*core.Ensemble, error) {
-	ens, rep, err := core.OpenStore(dir).Load()
+// never mistaken for a healthy one. The returned advisories are the
+// registry's provenance claims — generation, fingerprint, canary verdict —
+// for rendering under any diagnosis the ensemble produces.
+func loadRegistry(dir string) (*core.Ensemble, []report.Advisory, error) {
+	store := core.OpenStore(dir)
+	ens, rep, err := store.Load()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, rej := range rep.Rejected {
 		report.Warn(os.Stderr, "%s: generation %d rejected: %s", dir, rej.Generation, rej.Err)
@@ -173,7 +180,39 @@ func loadRegistry(dir string) (*core.Ensemble, error) {
 		report.Warn(os.Stderr, "%s: serving fallback generation %d — newest generation failed verification",
 			dir, rep.Generation)
 	}
-	return ens, nil
+	var advs []report.Advisory
+	if rep.Legacy {
+		advs = append(advs, report.Advisory{
+			Claim:      "serving a legacy flat registry",
+			Source:     "model-registry",
+			Confidence: "unverified (no checksums)",
+		})
+		return ens, advs, nil
+	}
+	claim := fmt.Sprintf("serving generation %d", rep.Generation)
+	if fp := rep.Fingerprint; len(fp) >= 12 {
+		claim += fmt.Sprintf(" (fingerprint %s)", fp[:12])
+	}
+	if rep.FellBack {
+		claim += ", after fallback from a corrupt newer generation"
+	}
+	advs = append(advs, report.Advisory{Claim: claim, Source: "model-registry", Confidence: "exact"})
+	if man, merr := store.Manifest(rep.Generation); merr == nil && man.Canary != nil {
+		c := man.Canary
+		adv := report.Advisory{Source: "canary-gate", Confidence: "exact"}
+		if c.Reason != "" {
+			adv.Claim = c.Reason
+		} else if c.Passed {
+			adv.Claim = fmt.Sprintf("promotion vetted: candidate RMSE %.4f vs serving %.4f", c.CandidateRMSE, c.ServingRMSE)
+		}
+		if c.HoldoutJobs > 0 {
+			adv.Confidence = fmt.Sprintf("measured on %d held-out jobs", c.HoldoutJobs)
+		}
+		if adv.Claim != "" {
+			advs = append(advs, adv)
+		}
+	}
+	return ens, advs, nil
 }
 
 func cmdDiagnose(args []string) error {
@@ -198,7 +237,7 @@ func cmdDiagnose(args []string) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("diagnose: -log is required")
 	}
-	ens, err := loadRegistry(*modelsDir)
+	ens, advisories, err := loadRegistry(*modelsDir)
 	if err != nil {
 		return err
 	}
@@ -229,7 +268,11 @@ func cmdDiagnose(args []string) error {
 		defer cancel()
 	}
 	if len(recs) > 1 {
-		return diagnoseBatch(ctx, ens, recs, paths, opts, *top)
+		if err := diagnoseBatch(ctx, ens, recs, paths, opts, *top); err != nil {
+			return err
+		}
+		report.Advisories(os.Stdout, advisories)
+		return nil
 	}
 	diag, err := ens.DiagnoseContext(ctx, recs[0], opts)
 	if err != nil {
@@ -253,6 +296,7 @@ func cmdDiagnose(args []string) error {
 	} else {
 		fmt.Println("no negative factors found")
 	}
+	report.Advisories(os.Stdout, advisories)
 
 	if *advise {
 		recs, err := tune.New(ens).Advise(diag, 1.05)

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/joblog"
+	"github.com/hpc-repro/aiio/internal/report"
+)
+
+// cmdQuarantine inspects and clears the joblog quarantine: records the
+// ingest boundary or crash recovery refused, preserved with their reason
+// instead of silently dropped. `ls` and `show` read the log directly (no
+// store open, so they are safe against a directory a live server is
+// serving from); `purge` opens the store to reset its counter too.
+func cmdQuarantine(args []string) error {
+	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("quarantine: usage: aiio quarantine <ls|show|purge> [-dir joblog] [-n index]")
+	}
+	action := args[0]
+	fs := flag.NewFlagSet("quarantine "+action, flag.ExitOnError)
+	dir := fs.String("dir", "joblog", "durable job log directory")
+	n := fs.Int("n", -1, "entry index for show (default: every entry)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	switch action {
+	case "ls":
+		entries, err := joblog.ReadQuarantine(*dir)
+		if err != nil {
+			return err
+		}
+		if len(entries) == 0 {
+			fmt.Printf("%s: quarantine is empty\n", *dir)
+			return nil
+		}
+		rows := make([][]string, 0, len(entries))
+		for _, e := range entries {
+			kind := "record"
+			if len(e.Payload) == 0 {
+				kind = "note"
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", e.Index),
+				time.Unix(e.TimeUnix, 0).UTC().Format(time.RFC3339),
+				kind,
+				fmt.Sprintf("%d", e.Bytes),
+				e.Reason,
+			})
+		}
+		report.Table(os.Stdout, []string{"#", "Quarantined", "Kind", "Bytes", "Reason"}, rows)
+		return nil
+	case "show":
+		entries, err := joblog.ReadQuarantine(*dir)
+		if err != nil {
+			return err
+		}
+		if len(entries) == 0 {
+			fmt.Printf("%s: quarantine is empty\n", *dir)
+			return nil
+		}
+		shown := 0
+		for _, e := range entries {
+			if *n >= 0 && e.Index != *n {
+				continue
+			}
+			shown++
+			report.KV(os.Stdout, "entry", "%d", e.Index)
+			report.KV(os.Stdout, "quarantined", "%s", time.Unix(e.TimeUnix, 0).UTC().Format(time.RFC3339))
+			report.KV(os.Stdout, "reason", "%s", e.Reason)
+			seq, rec, derr := e.Record()
+			switch {
+			case derr != nil && len(e.Payload) == 0:
+				report.KV(os.Stdout, "payload", "none (parse-reject note)")
+			case derr != nil:
+				report.KV(os.Stdout, "payload", "%d bytes, undecodable: %v", len(e.Payload), derr)
+			default:
+				report.KV(os.Stdout, "seq", "%d", seq)
+				report.KV(os.Stdout, "job", "%d (%s, year %d)", rec.JobID, rec.App, rec.Year)
+				report.KV(os.Stdout, "perf", "%.3f MiB/s", rec.PerfMiBps)
+				for id := darshan.CounterID(0); id < darshan.NumCounters; id++ {
+					if v := rec.Counter(id); v != 0 {
+						report.KV(os.Stdout, "  "+id.String(), "%g", v)
+					}
+				}
+			}
+			fmt.Println()
+		}
+		if *n >= 0 && shown == 0 {
+			return fmt.Errorf("quarantine: no entry with index %d (have %d entries)", *n, len(entries))
+		}
+		return nil
+	case "purge":
+		jl, err := openJobLog(*dir)
+		if err != nil {
+			return err
+		}
+		defer jl.Close()
+		dropped, err := jl.PurgeQuarantine()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("purged %d quarantined entries from %s\n", dropped, *dir)
+		return nil
+	default:
+		return fmt.Errorf("quarantine: unknown action %q (want ls, show, or purge)", action)
+	}
+}

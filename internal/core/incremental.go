@@ -50,9 +50,54 @@ type IncrementalOptions struct {
 	// MinNew is the minimum backlog size before retraining is worthwhile
 	// (default 1).
 	MinNew int
+	// Holdout, when > 0 with a Gate wired in, is the canary holdout budget:
+	// up to half is reservoir-sampled from incorporated history (records
+	// with seq ≡ 0 mod 3, which are excluded from the training window so
+	// the split is disjoint by construction) and up to half is diverted
+	// from the fresh backlog before training. The candidate never trains
+	// on a holdout record, so a retrain that memorized poisoned labels has
+	// nowhere to hide from the gate, while the history half keeps a
+	// candidate from passing by simply overfitting the newest slice.
+	Holdout int
+	// Gate, when non-nil, shadow-evaluates the candidate ensemble against
+	// the held-out slice after validation and before anything durable
+	// happens. A nil error admits the candidate and the verdict is
+	// recorded in the generation manifest; an error blocks the commit — no
+	// generation is written, and the run returns a *CanaryBlockedError.
+	Gate func(candidate *Ensemble, holdout []*darshan.Record) (*CanaryRecord, error)
+	// Reference, when non-nil, serializes a drift-reference snapshot of
+	// the training distribution (typically drift.BuildReference) that is
+	// committed alongside the generation, so the drift monitor can re-arm
+	// against exactly this model's world after a restart. The admitting
+	// verdict (nil when no Gate ran) is passed through for its baseline
+	// error.
+	Reference func(training []*darshan.Record, verdict *CanaryRecord) []byte
 	// Train configures the ensemble fit itself.
 	Train TrainOptions
 }
+
+// CanaryBlockedError reports that the canary gate refused a retrained
+// candidate: the serving generation stays, nothing was committed, and the
+// backlog that trained the candidate is parked behind the cursor (so a
+// single-flight auto-retrain loop does not re-train the same rejected
+// batch forever; the records stay in the log, reachable through the
+// history window of later cycles).
+type CanaryBlockedError struct {
+	// Verdict carries the losing numbers for healthz and the operator.
+	Verdict *CanaryRecord
+	// Err is the gate's explanation.
+	Err error
+}
+
+func (e *CanaryBlockedError) Error() string {
+	return fmt.Sprintf("core: canary gate blocked promotion: %v", e.Err)
+}
+
+func (e *CanaryBlockedError) Unwrap() error { return e.Err }
+
+// holdoutEligible marks the deterministic third of history seqs that may
+// only serve as canary holdout, never training window.
+func holdoutEligible(seq uint64) bool { return seq%3 == 0 }
 
 // IncrementalReport summarizes one incremental retraining run.
 type IncrementalReport struct {
@@ -60,12 +105,18 @@ type IncrementalReport struct {
 	NewRecords int
 	// WindowRecords is the number of historical records blended in.
 	WindowRecords int
+	// HoldoutRecords is the number of records held out for the canary gate
+	// (never trained on).
+	HoldoutRecords int
 	// Generation is the committed model-store generation.
 	Generation uint64
 	// MaxSeq is the cursor position after the run.
 	MaxSeq uint64
 	// Train is the underlying training report.
 	Train *TrainReport
+	// Canary is the gate verdict that admitted this generation (nil when
+	// no Gate was configured).
+	Canary *CanaryRecord
 }
 
 // ValidateEnsemble probes every model with a synthetic feature vector and
@@ -136,15 +187,30 @@ func RunIncremental(ctx context.Context, jl JobBacklog, store *Store, opts Incre
 	}
 
 	cursor := jl.Cursor()
+	gated := opts.Gate != nil && opts.Holdout > 0
+	histCap := (opts.Holdout + 1) / 2
 
 	// Reservoir-sample the incorporated history into the window. The rng is
 	// seeded from the training seed so a re-run after a crash draws the
-	// same window and trains the same model.
+	// same window and trains the same model. With a canary gate configured,
+	// the holdout-eligible third of history feeds its own reservoir and
+	// stays out of the window: the split is disjoint by construction, so
+	// the candidate cannot train on a record it is judged against.
 	rng := rand.New(rand.NewSource(opts.Train.Seed ^ int64(cursor)))
 	window := make([]*darshan.Record, 0, opts.Window)
-	seen := 0
+	var histHold []*darshan.Record
+	seen, heldSeen := 0, 0
 	if err := jl.Scan(func(seq uint64, rec *darshan.Record) bool {
 		if seq > cursor {
+			return true
+		}
+		if gated && holdoutEligible(seq) {
+			heldSeen++
+			if len(histHold) < histCap {
+				histHold = append(histHold, rec)
+			} else if k := rng.Intn(heldSeen); k < histCap {
+				histHold[k] = rec
+			}
 			return true
 		}
 		seen++
@@ -177,6 +243,32 @@ func RunIncremental(ctx context.Context, jl JobBacklog, store *Store, opts Incre
 		return nil, ErrNoNewJobs
 	}
 
+	// Divert the fresh half of the canary holdout before training sees the
+	// backlog: an evenly-strided slice of the newest jobs, as long as
+	// enough fresh records remain to make the retrain worthwhile.
+	holdout := append([]*darshan.Record(nil), histHold...)
+	if gated {
+		freshCap := opts.Holdout - len(histHold)
+		if freshCap > len(fresh)/2 {
+			freshCap = len(fresh) / 2
+		}
+		if rest := len(fresh) - freshCap; rest < opts.MinNew {
+			freshCap = len(fresh) - opts.MinNew
+		}
+		if freshCap > 0 {
+			stride := len(fresh) / freshCap
+			kept := fresh[:0]
+			for i, rec := range fresh {
+				if len(holdout)-len(histHold) < freshCap && i%stride == stride-1 {
+					holdout = append(holdout, rec)
+				} else {
+					kept = append(kept, rec)
+				}
+			}
+			fresh = kept
+		}
+	}
+
 	ds := &darshan.Dataset{Records: make([]*darshan.Record, 0, len(window)+len(fresh))}
 	ds.Records = append(ds.Records, window...)
 	ds.Records = append(ds.Records, fresh...)
@@ -188,7 +280,30 @@ func RunIncremental(ctx context.Context, jl JobBacklog, store *Store, opts Incre
 	if err := ValidateEnsemble(ens); err != nil {
 		return nil, err
 	}
-	gen, err := store.Save(ens)
+	// The canary gate: shadow-evaluate the candidate on the held-out slice
+	// before anything durable happens. A blocked candidate is never
+	// written — the serving generation cannot be displaced by a retrain
+	// that made things worse — and the backlog is parked behind the cursor
+	// so the single-flight trigger does not loop on the same batch.
+	var verdict *CanaryRecord
+	if opts.Gate != nil {
+		var gerr error
+		verdict, gerr = opts.Gate(ens, holdout)
+		if gerr != nil {
+			if aerr := jl.AdvanceCursor(maxSeq); aerr != nil {
+				return nil, fmt.Errorf("core: canary blocked (%v) and cursor advance failed: %w", gerr, aerr)
+			}
+			return nil, &CanaryBlockedError{Verdict: verdict, Err: gerr}
+		}
+	}
+	var extra *GenerationExtra
+	if verdict != nil || opts.Reference != nil {
+		extra = &GenerationExtra{Canary: verdict}
+		if opts.Reference != nil {
+			extra.Reference = opts.Reference(ds.Records, verdict)
+		}
+	}
+	gen, err := store.SaveDetailed(ens, extra)
 	if err != nil {
 		return nil, fmt.Errorf("core: commit generation: %w", err)
 	}
@@ -197,10 +312,12 @@ func RunIncremental(ctx context.Context, jl JobBacklog, store *Store, opts Incre
 		return nil, fmt.Errorf("core: advance cursor (generation %d is committed; the next run re-trains the same jobs): %w", gen, err)
 	}
 	return &IncrementalReport{
-		NewRecords:    len(fresh),
-		WindowRecords: len(window),
-		Generation:    gen,
-		MaxSeq:        maxSeq,
-		Train:         report,
+		NewRecords:     len(fresh),
+		WindowRecords:  len(window),
+		HoldoutRecords: len(holdout),
+		Generation:     gen,
+		MaxSeq:         maxSeq,
+		Train:          report,
+		Canary:         verdict,
 	}, nil
 }

@@ -54,10 +54,47 @@ type ManifestEntry struct {
 	SHA256 string `json:"sha256,omitempty"`
 }
 
+// CanaryRecord is the verdict of the canary gate that admitted a
+// generation: before an incremental retrain commits, the candidate is
+// shadow-evaluated against the serving ensemble on held-out recent jobs
+// (internal/drift), and the numbers that justified the promotion are
+// recorded here — the "which gate passed, at what confidence" provenance
+// that flows into diagnosis advisories. A blocked candidate is never
+// committed, so a manifest only ever carries a passing verdict (or none,
+// for uploads and replication imports that bypass the gate).
+type CanaryRecord struct {
+	// Passed is whether the gate admitted the candidate.
+	Passed bool `json:"passed"`
+	// CandidateRMSE / ServingRMSE are the held-out errors (transformed
+	// domain) of the new and incumbent ensembles; zero when the gate was
+	// waived (no incumbent, or holdout below the trust minimum).
+	CandidateRMSE float64 `json:"candidate_rmse,omitempty"`
+	ServingRMSE   float64 `json:"serving_rmse,omitempty"`
+	// Tolerance is the fractional slack the candidate was allowed.
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// HoldoutJobs is how many held-out records the verdict rests on.
+	HoldoutJobs int `json:"holdout_jobs"`
+	// Reason is the human-readable verdict.
+	Reason string `json:"reason,omitempty"`
+	// EvaluatedUnix is when the gate ran.
+	EvaluatedUnix int64 `json:"evaluated_unix,omitempty"`
+}
+
 // GenerationManifest is one committed generation's content listing.
 type GenerationManifest struct {
 	Generation uint64          `json:"generation,omitempty"`
 	Models     []ManifestEntry `json:"models"`
+	// Canary, when present, is the gate verdict that admitted this
+	// generation. It does not participate in the fingerprint — two
+	// replicas serving identical models are identical regardless of which
+	// one ran the gate.
+	Canary *CanaryRecord `json:"canary,omitempty"`
+	// ReferenceFile names the drift-reference sidecar (the input
+	// distribution snapshot frozen at training time) committed inside the
+	// generation directory; empty when the generation was saved without
+	// one. The sidecar is local provenance, not part of the replicated
+	// model set.
+	ReferenceFile string `json:"reference_file,omitempty"`
 }
 
 // Fingerprint is the content identity of a generation: the SHA-256 over the
@@ -84,6 +121,7 @@ func (m *GenerationManifest) Fingerprint() string {
 
 const (
 	manifestName   = "manifest.json"
+	referenceName  = "drift-reference.json"
 	currentName    = "CURRENT"
 	generationsDir = "generations"
 	tmpPrefix      = ".tmp-"
@@ -198,10 +236,23 @@ func (s *Store) current() (gen uint64, ok bool) {
 	return n, true
 }
 
+// GenerationExtra is the optional provenance committed alongside a
+// generation: the canary verdict that admitted it and the serialized
+// drift-reference snapshot (internal/drift.Reference) of the training
+// distribution. Both land inside the generation's temp directory before
+// the commit rename, so they are exactly as crash-safe as the models.
+type GenerationExtra struct {
+	Canary    *CanaryRecord
+	Reference []byte
+}
+
 // Save commits every model of e as a new generation and flips CURRENT to
 // it, returning the new generation number. The write is crash-safe: until
 // the final renames land, loads keep seeing the previous generation.
-func (s *Store) Save(e *Ensemble) (uint64, error) {
+func (s *Store) Save(e *Ensemble) (uint64, error) { return s.SaveDetailed(e, nil) }
+
+// SaveDetailed is Save with generation provenance attached.
+func (s *Store) SaveDetailed(e *Ensemble, extra *GenerationExtra) (uint64, error) {
 	s.saveMu.Lock()
 	defer s.saveMu.Unlock()
 	gensRoot := filepath.Join(s.dir, generationsDir)
@@ -247,6 +298,15 @@ func (s *Store) Save(e *Ensemble) (uint64, error) {
 		man.Models = append(man.Models, ManifestEntry{
 			Name: m.Name(), Kind: m.Kind(), File: file, SHA256: sum,
 		})
+	}
+	if extra != nil {
+		man.Canary = extra.Canary
+		if len(extra.Reference) > 0 {
+			if err := writeFileSync(filepath.Join(tmpDir, referenceName), extra.Reference); err != nil {
+				return 0, fmt.Errorf("core: write drift reference: %w", err)
+			}
+			man.ReferenceFile = referenceName
+		}
 	}
 	manPath := filepath.Join(tmpDir, manifestName)
 	if err := s.step(StepManifestWrite, manPath); err != nil {
@@ -509,6 +569,67 @@ func (s *Store) LoadGeneration(gen uint64) (*Ensemble, *GenerationManifest, erro
 	return e, man, nil
 }
 
+// Reference reads one committed generation's drift-reference sidecar (the
+// training-time input distribution snapshot). Nil with no error when the
+// generation was saved without one — legacy generations, uploads, and
+// replication imports have no reference, and the drift monitor self-arms
+// from live traffic instead.
+func (s *Store) Reference(gen uint64) ([]byte, error) {
+	man, err := s.Manifest(gen)
+	if err != nil {
+		return nil, err
+	}
+	if man.ReferenceFile == "" {
+		return nil, nil
+	}
+	if strings.ContainsAny(man.ReferenceFile, "/\\") {
+		return nil, fmt.Errorf("core: generation %d: hostile reference file name %q", gen, man.ReferenceFile)
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, generationsDir, genDirName(gen), man.ReferenceFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: generation %d: read drift reference: %w", gen, err)
+	}
+	return data, nil
+}
+
+// SetCurrent flips CURRENT to an already-committed generation — the
+// registry half of an automatic rollback: the post-promotion watch demotes
+// a regressing generation by pointing CURRENT back at its predecessor, so
+// a restart loads the known-good set, while the regressing generation's
+// files stay on disk for the operator. The flip goes through the same
+// temp + fsync + rename as a save; a crash mid-flip leaves the old CURRENT.
+func (s *Store) SetCurrent(gen uint64) error {
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	gens, err := s.Generations()
+	if err != nil {
+		return err
+	}
+	committed := false
+	for _, g := range gens {
+		if g == gen {
+			committed = true
+			break
+		}
+	}
+	if !committed {
+		return fmt.Errorf("core: set current: generation %d is not committed", gen)
+	}
+	curPath := filepath.Join(s.dir, currentName)
+	if err := s.step(StepCurrentCommit, curPath); err != nil {
+		return err
+	}
+	tmpCur := curPath + ".tmp"
+	if err := writeFileSync(tmpCur, []byte(strconv.FormatUint(gen, 10)+"\n")); err != nil {
+		return fmt.Errorf("core: write CURRENT: %w", err)
+	}
+	if err := os.Rename(tmpCur, curPath); err != nil {
+		return fmt.Errorf("core: commit CURRENT: %w", err)
+	}
+	syncDir(s.dir)
+	return nil
+}
+
 // ImportGeneration commits a generation replicated from a peer. man is the
 // peer's manifest; fetch opens each named model file (typically an HTTP GET
 // against the peer's /api/v1/generations/{id}/files/{file}). Every file is
@@ -559,7 +680,10 @@ func (s *Store) ImportGeneration(man *GenerationManifest, fetch func(file string
 	// Any exit before the commit rename leaves only this temp directory,
 	// which the next save sweeps; a torn transfer can never be activated.
 	defer os.RemoveAll(tmpDir)
-	local := GenerationManifest{Generation: target, Models: man.Models}
+	// The canary verdict is content provenance and travels with the
+	// models; the drift-reference sidecar does not replicate (followers
+	// self-arm from their own traffic), so ReferenceFile is dropped.
+	local := GenerationManifest{Generation: target, Models: man.Models, Canary: man.Canary}
 	for _, entry := range man.Models {
 		if err := s.step(StepModelWrite, filepath.Join(tmpDir, entry.File)); err != nil {
 			return 0, err

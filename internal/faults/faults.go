@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"math/rand"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"github.com/hpc-repro/aiio/internal/core"
+	"github.com/hpc-repro/aiio/internal/darshan"
 	"github.com/hpc-repro/aiio/internal/linalg"
 )
 
@@ -203,4 +205,74 @@ func Flood(n int, fn func(i int) error) []error {
 	close(start)
 	wg.Wait()
 	return errs
+}
+
+// ShiftRecord returns a copy of rec with every counter and the performance
+// tag scaled by factor — a whole-distribution shift, as if the workload
+// moved to files and request sizes factor× larger. With a positive integer
+// factor and integer-valued counters (the synthetic generator's output),
+// scaling is exact in float64, so every linear invariant Record.Validate
+// checks (size-histogram sums, consecutive ≤ sequential, per-op caps)
+// survives bit-for-bit: a shifted record passes the ingest boundary and
+// lands on the drift monitor, not in quarantine. In the transformed
+// (log10) feature domain the shift moves every non-zero counter right by
+// ≈log10(factor), which is exactly the population shift the PSI sketches
+// exist to catch.
+func ShiftRecord(rec *darshan.Record, factor float64) *darshan.Record {
+	out := *rec
+	for i := range out.Counters {
+		out.Counters[i] *= factor
+	}
+	out.PerfMiBps *= factor
+	return &out
+}
+
+// ShiftDataset applies ShiftRecord to every record, returning the shifted
+// copies with distinct JobIDs (offset by idOffset) so the joblog's dedup
+// index sees them as new jobs rather than retries.
+func ShiftDataset(recs []*darshan.Record, factor float64, idOffset int64) []*darshan.Record {
+	out := make([]*darshan.Record, len(recs))
+	for i, rec := range recs {
+		s := ShiftRecord(rec, factor)
+		s.JobID += idOffset
+		out[i] = s
+	}
+	return out
+}
+
+// ConstantModel is a core.Model that predicts the same transformed value
+// for every input — the canonical "confidently wrong" candidate. A canary
+// gate that cannot block it is not a gate; a rollback watch that cannot
+// detect it serving is not a watch.
+type ConstantModel struct {
+	// Value is the prediction, in the transformed (log10) domain.
+	Value float64
+	// ModelName is reported by Name (default "constant").
+	ModelName string
+}
+
+func (c *ConstantModel) Name() string {
+	if c.ModelName != "" {
+		return c.ModelName
+	}
+	return "constant"
+}
+
+func (c *ConstantModel) Kind() string { return "constant" }
+
+func (c *ConstantModel) Predict(x []float64) float64 { return c.Value }
+
+func (c *ConstantModel) PredictBatch(x *linalg.Matrix) []float64 {
+	out := make([]float64, x.Rows)
+	for i := range out {
+		out[i] = c.Value
+	}
+	return out
+}
+
+// Save writes a one-line marker; ConstantModel exists for in-memory fault
+// injection and has no durable format worth versioning.
+func (c *ConstantModel) Save(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "constant %g\n", c.Value)
+	return err
 }

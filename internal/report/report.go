@@ -270,6 +270,43 @@ func Warn(w io.Writer, format string, args ...interface{}) {
 	fmt.Fprintf(w, "  !! warning: "+format+"\n", args...)
 }
 
+// Advisory is one provenance claim attached to a diagnosis: something the
+// serving stack asserts about itself (which model generation answered,
+// whether a canary gate vetted it, what the drift monitor currently sees)
+// together with where the claim comes from and how much to trust it.
+type Advisory struct {
+	// Claim is the assertion itself, e.g. "serving generation 4".
+	Claim string
+	// Source is the subsystem making the claim, e.g. "canary-gate".
+	Source string
+	// Confidence qualifies the claim: "exact" for fingerprinted facts,
+	// "measured on 32 held-out jobs" for empirical ones.
+	Confidence string
+}
+
+// Advisories renders provenance claims under a diagnosis, one aligned line
+// per claim. Nothing is printed for an empty list: absence of provenance
+// should not manufacture output.
+func Advisories(w io.Writer, advs []Advisory) {
+	if len(advs) == 0 {
+		return
+	}
+	srcW := 0
+	for _, a := range advs {
+		if len(a.Source) > srcW {
+			srcW = len(a.Source)
+		}
+	}
+	fmt.Fprintln(w, "provenance:")
+	for _, a := range advs {
+		line := a.Claim
+		if a.Confidence != "" {
+			line += " [" + a.Confidence + "]"
+		}
+		fmt.Fprintf(w, "  %-*s  %s\n", srcW+1, a.Source+":", line)
+	}
+}
+
 // Summary renders a SHAP summary ("beeswarm") plot as text: one row per
 // feature, each sample's value marked by position along a shared signed
 // axis — the form of the paper's Fig. 1b. Rows are ordered by mean |value|

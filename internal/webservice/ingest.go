@@ -2,10 +2,12 @@ package webservice
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
 
+	"github.com/hpc-repro/aiio/internal/core"
 	"github.com/hpc-repro/aiio/internal/darshan"
 )
 
@@ -39,6 +41,11 @@ type IngestResponse struct {
 	// RetrainTriggered reports that this request pushed the backlog over
 	// the threshold and a background retraining cycle started.
 	RetrainTriggered bool `json:"retrain_triggered,omitempty"`
+	// DriftTripped reports that the drift monitor is over a trip threshold
+	// after this request; DriftRetrainTriggered that the trip (rather than
+	// the backlog threshold) started the background cycle.
+	DriftTripped          bool `json:"drift_tripped,omitempty"`
+	DriftRetrainTriggered bool `json:"drift_retrain_triggered,omitempty"`
 }
 
 // retrainStatus is the last background cycle's outcome, for /healthz.
@@ -79,6 +86,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.ParseRejected = len(rejected)
+	var observed []*darshan.Record
 	for _, rec := range ds.Records {
 		// The ingest boundary is where corrupt telemetry is stopped: a
 		// record with non-finite counters is preserved in quarantine for
@@ -100,6 +108,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			resp.Duplicates++
 		} else {
 			resp.Accepted++
+			observed = append(observed, rec)
 		}
 	}
 	// The durability barrier: nothing above is acknowledged until the WAL
@@ -112,8 +121,30 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.Pending = s.JobLog.Pending()
+	// Drift observation happens after the durability barrier: only jobs
+	// that are truly in the training log shape the monitor's view of the
+	// world. Duplicates (client retries) are skipped so a retry storm
+	// cannot fake a distribution shift.
+	if s.Drift != nil && len(observed) > 0 {
+		ens, _, _ := s.snapshot()
+		for _, rec := range observed {
+			s.observeIngest(ens, rec)
+		}
+	}
 	if s.RetrainThreshold > 0 && resp.Pending >= s.RetrainThreshold {
 		resp.RetrainTriggered = s.TriggerRetrain()
+	}
+	// A tripped drift detector triggers the same single-flight retrain the
+	// backlog threshold does — the canary gate inside the retrainer decides
+	// whether the result actually promotes.
+	if s.Drift != nil && !resp.RetrainTriggered {
+		if tripped, st := s.Drift.Tripped(); tripped {
+			resp.DriftTripped = true
+			if s.Retrainer != nil && s.TriggerRetrain() {
+				resp.DriftRetrainTriggered = true
+				s.noteDriftTrigger(st)
+			}
+		}
 	}
 	writeJSON(w, http.StatusOK, &resp)
 }
@@ -135,8 +166,21 @@ func (s *Server) TriggerRetrain() bool {
 			st.FinishedUnix = time.Now().Unix()
 			s.retrainState.Store(st)
 		}()
+		// Remember the incumbent: it is the post-promotion watch's rollback
+		// target if the promotion regresses.
+		var prevGen uint64
+		if rep := s.genReport.Load(); rep != nil {
+			prevGen = rep.Generation
+		}
 		ens, gen, err := s.Retrainer(context.Background())
 		if err != nil {
+			// A canary-blocked candidate is a lifecycle decision, not a
+			// failure: the gate judged the retrain worse than the serving
+			// set and refused it. Record the losing verdict as provenance.
+			var blocked *core.CanaryBlockedError
+			if errors.As(err, &blocked) {
+				s.noteCanaryBlocked(blocked.Verdict)
+			}
 			st.Err = err.Error()
 			return
 		}
@@ -149,6 +193,9 @@ func (s *Server) TriggerRetrain() bool {
 			return
 		}
 		st.Generation = gen
+		// Re-arm the drift monitor against the new generation's reference
+		// and start the post-promotion rollback watch.
+		s.afterPromotion(prevGen, gen)
 	}()
 	return true
 }

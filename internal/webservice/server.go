@@ -24,6 +24,7 @@ import (
 	"github.com/hpc-repro/aiio/internal/admission"
 	"github.com/hpc-repro/aiio/internal/core"
 	"github.com/hpc-repro/aiio/internal/darshan"
+	"github.com/hpc-repro/aiio/internal/drift"
 	"github.com/hpc-repro/aiio/internal/joblog"
 	"github.com/hpc-repro/aiio/internal/tune"
 )
@@ -66,6 +67,11 @@ type DiagnosisResponse struct {
 	// AdvisoryError is set when the diagnosis succeeded but the tuning
 	// advisor failed; the diagnosis above is still complete and valid.
 	AdvisoryError string `json:"advisory_error,omitempty"`
+	// Advisories are per-claim provenance statements from the model
+	// lifecycle (which generation served, which canary gate admitted it,
+	// which counters have drifted since training) — the trust context for
+	// the diagnosis above. See lifecycle.go.
+	Advisories []AdvisoryJSON `json:"advisories,omitempty"`
 }
 
 // RecommendationJSON is one automatic tuning recommendation.
@@ -136,10 +142,30 @@ type Server struct {
 	// CoalesceMax caps one fused batch (DefaultCoalesceMax when 0); a full
 	// batch dispatches without waiting out the window.
 	CoalesceMax int
+	// Drift, when non-nil, streams every durably ingested job through
+	// bounded-memory distribution sketches and rolling prediction-error
+	// tracking; a tripped detector triggers the same single-flight retrain
+	// a backlog threshold does, canary-gated before promotion. Set before
+	// the first request. See lifecycle.go and internal/drift.
+	Drift *drift.Monitor
+	// RollbackRatio, when > 0 with Drift wired in, arms a post-promotion
+	// watch after each auto-promoted retrain: rolling serving error
+	// reaching RollbackRatio × the pre-promotion baseline rolls the swap
+	// back to the previous generation automatically.
+	RollbackRatio float64
+	// RollbackWatch is how many labeled jobs the post-promotion watch
+	// covers before the promotion is judged safe (default 200).
+	RollbackWatch int
 
 	// coalesceOnce pins the coalescer (or its absence) at first use.
 	coalesceOnce sync.Once
 	coal         *coalescer
+
+	// watch is the live post-promotion rollback watch (nil between
+	// promotions); lifecycleMu guards the lifecycle decision history.
+	watch       atomic.Pointer[promotionWatch]
+	lifecycleMu sync.Mutex
+	lifecycle   lifecycleStatus
 
 	// retrainBusy makes retraining single-flight: a trigger while one cycle
 	// is running is a no-op (the running cycle drains the same backlog).
@@ -212,6 +238,14 @@ func (s *Server) snapshot() (*core.Ensemble, core.DiagnoseOptions, uint64) {
 	return &core.Ensemble{Models: models}, s.opts, s.version
 }
 
+// ServingEnsemble returns a lock-free snapshot copy of the model set
+// currently answering traffic — the incumbent a canary gate evaluates a
+// retrained candidate against.
+func (s *Server) ServingEnsemble() *core.Ensemble {
+	ens, _, _ := s.snapshot()
+	return ens
+}
+
 // Handler returns the HTTP routes, every one wrapped in the protection
 // middleware (panic recovery + per-request deadline).
 func (s *Server) Handler() http.Handler {
@@ -224,6 +258,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/v1/diagnose", s.admitted("diagnose", s.handleDiagnose))
 	mux.HandleFunc("/api/v1/diagnose/batch", s.admitted("batch", s.handleDiagnoseBatch))
 	mux.HandleFunc("/api/v1/jobs", s.admitted(IngestEndpoint, s.handleJobs))
+	mux.HandleFunc("/api/v1/drift", s.handleDrift)
 	mux.HandleFunc("/api/v1/generations", s.handleGenerations)
 	mux.HandleFunc("/api/v1/generations/", s.handleGenerationFetch)
 	return s.protect(mux)
@@ -430,6 +465,31 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		body["retrain"] = retrain
+	}
+	if s.Breakers != nil {
+		body["breakers"] = s.Breakers.States()
+	}
+	if s.Drift != nil {
+		st := s.Drift.Snapshot()
+		lc := s.lifecycleSnapshot()
+		body["drift"] = map[string]any{
+			"armed":          st.Armed,
+			"tripped":        st.Tripped,
+			"tripped_by":     st.TrippedBy,
+			"max_psi":        st.MaxPSI,
+			"threshold":      st.Threshold,
+			"drifted":        len(st.Drifted),
+			"window_jobs":    st.WindowJobs,
+			"reference_jobs": st.ReferenceJobs,
+			"rolling_rmse":   st.RollingRMSE,
+			"baseline_rmse":  st.BaselineRMSE,
+			"error_ratio":    st.ErrorRatio,
+			"error_obs":      st.ErrorObs,
+			"drift_retrains": lc.DriftRetrains,
+			"canary_blocked": lc.CanaryBlocked,
+			"rollbacks":      lc.Rollbacks,
+			"watch_armed":    lc.WatchArmed,
+		}
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -773,6 +833,7 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 			PredictedGain:  r.PredictedGain,
 		})
 	}
+	s.appendAdvisories(resp)
 	writeJSON(w, http.StatusOK, resp)
 }
 
